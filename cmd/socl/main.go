@@ -1,0 +1,224 @@
+// Command socl runs the SoCL microservice provisioning framework on a
+// single generated scenario and prints the resulting placement, routing
+// quality, and per-stage statistics.
+//
+// Usage:
+//
+//	socl -nodes 10 -users 40 -budget 8000 -lambda 0.5 -seed 1 -algo socl
+//
+// Algorithms: socl (default), rp, jdr, gcog, opt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/opt"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "", "JSON scenario file (overrides -nodes/-users/-topo/...)")
+		writeScn = flag.String("write-scenario", "", "write the default scenario JSON to this path and exit")
+		nodes    = flag.Int("nodes", 10, "number of edge servers")
+		users    = flag.Int("users", 40, "number of user requests")
+		budget   = flag.Float64("budget", 8000, "deployment budget 𝒦^max")
+		lambda   = flag.Float64("lambda", 0.5, "objective weight λ (cost vs latency)")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		algo     = flag.String("algo", "socl", "algorithm: socl | rp | jdr | gcog | opt")
+		topo     = flag.String("topo", "geometric", "topology: geometric | stadium | ringhubs | grid")
+		dataset  = flag.String("dataset", "eshop", "application dataset: eshop | sock-shop | piggymetrics | hotel-reservation")
+		optLimit = flag.Duration("opt-limit", 30*time.Second, "time cap for -algo opt")
+		verbose  = flag.Bool("v", false, "print the full placement matrix")
+		exportLP = flag.String("export-lp", "", "write the instance's ILP in CPLEX LP format to this file (for external solvers) and exit")
+	)
+	flag.Parse()
+
+	if *writeScn != "" {
+		if err := config.Default().Save(*writeScn); err != nil {
+			fmt.Fprintln(os.Stderr, "socl:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote default scenario to", *writeScn)
+		return
+	}
+	if *exportLP != "" {
+		if err := doExportLP(*scenario, *nodes, *users, *budget, *lambda, *seed, *topo, *dataset, *exportLP); err != nil {
+			fmt.Fprintln(os.Stderr, "socl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var err error
+	if *scenario != "" {
+		err = runScenario(*scenario, *algo, *optLimit, *verbose)
+	} else {
+		err = run(*nodes, *users, *budget, *lambda, *seed, *algo, *topo, *dataset, *optLimit, *verbose)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socl:", err)
+		os.Exit(1)
+	}
+}
+
+// doExportLP builds the instance and writes its Definition-4 ILP in CPLEX
+// LP format, so users with Gurobi/CPLEX/SCIP can solve the exact model the
+// paper's OPT baseline uses.
+func doExportLP(scenario string, nodes, users int, budget, lambda float64, seed int64, topo, dataset, path string) error {
+	var in *model.Instance
+	if scenario != "" {
+		sc, err := config.Load(scenario)
+		if err != nil {
+			return err
+		}
+		in, err = sc.Build()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		in, err = buildInstance(nodes, users, budget, lambda, seed, topo, dataset)
+		if err != nil {
+			return err
+		}
+	}
+	m, _ := ilp.BuildSoCLBounded(in)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ilp.WriteBoundedLP(f, m); err != nil {
+		return err
+	}
+	fmt.Printf("wrote ILP (%d variables, %d constraints) to %s\n",
+		m.Prob.NumVars, len(m.Prob.Constraints), path)
+	return nil
+}
+
+// runScenario loads a JSON scenario and solves it with the chosen
+// algorithm.
+func runScenario(path, algo string, optLimit time.Duration, verbose bool) error {
+	sc, err := config.Load(path)
+	if err != nil {
+		return err
+	}
+	in, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario=%s (%s topology, %s catalog)\n", sc.Name, sc.Topology.Kind, sc.Catalog.Kind)
+	return solveAndReport(in, in.Workload.Catalog, algo, sc.Seed, optLimit, verbose)
+}
+
+func run(nodes, users int, budget, lambda float64, seed int64, algo, topo, dataset string, optLimit time.Duration, verbose bool) error {
+	in, err := buildInstance(nodes, users, budget, lambda, seed, topo, dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nodes=%d users=%d budget=%.0f λ=%.2f seed=%d dataset=%s\n", nodes, users, budget, lambda, seed, dataset)
+	return solveAndReport(in, in.Workload.Catalog, algo, seed, optLimit, verbose)
+}
+
+// buildInstance assembles the flag-driven instance shared by run and
+// doExportLP.
+func buildInstance(nodes, users int, budget, lambda float64, seed int64, topo, dataset string) (*model.Instance, error) {
+	gcfg := topology.DefaultGenConfig()
+	var g *topology.Graph
+	switch topo {
+	case "geometric":
+		g = topology.RandomGeometric(nodes, 0.35, gcfg, seed)
+	case "stadium":
+		g = topology.Stadium(nodes, gcfg, seed)
+	case "ringhubs":
+		g = topology.RingHubs(nodes*3/4, nodes-nodes*3/4, gcfg, seed)
+	case "grid":
+		side := 1
+		for side*side < nodes {
+			side++
+		}
+		g = topology.Grid(side, side, gcfg, seed)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+
+	cat, err := msvc.CatalogByName(dataset, msvc.DefaultDatasetConfig(), seed)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := msvc.DefaultWorkloadConfig(users)
+	w, err := msvc.GenerateWorkload(cat, g, wcfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: lambda, Budget: budget}, nil
+}
+
+// solveAndReport runs the chosen algorithm on in and prints the outcome.
+func solveAndReport(in *model.Instance, cat *msvc.Catalog, algo string, seed int64, optLimit time.Duration, verbose bool) error {
+	var placement model.Placement
+	start := time.Now()
+	switch algo {
+	case "socl":
+		sol, err := core.Solve(in, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		placement = sol.Placement
+		defer func() {
+			fmt.Printf("stages: partition=%v preprov=%v combine=%v\n",
+				sol.Stats.PartitionTime, sol.Stats.PreprovTime, sol.Stats.CombineTime)
+			fmt.Printf("combine: removed=%d rolled-back=%d migrated=%d budget-met=%v\n",
+				sol.Stats.Combined, sol.Stats.RolledBack, sol.Stats.Migrated, sol.Stats.BudgetMet)
+		}()
+	case "rp":
+		placement = baselines.RP(in, seed)
+	case "jdr":
+		placement = baselines.JDR(in)
+	case "gcog":
+		res := baselines.GCOG(in)
+		placement = res.Placement
+		fmt.Printf("gcog: rounds=%d exact-evaluations=%d\n", res.Rounds, res.Evals)
+	case "opt":
+		res, err := opt.Solve(in, opt.Options{TimeLimit: optLimit})
+		if err != nil {
+			return err
+		}
+		if res.Status == opt.Infeasible || res.Status == opt.NoSolution {
+			return fmt.Errorf("optimizer: %v after %v (%d nodes)", res.Status, res.Elapsed, res.Nodes)
+		}
+		placement = res.Placement
+		fmt.Printf("opt: status=%v bb-nodes=%d star-objective=%.2f\n", res.Status, res.Nodes, res.StarObjective)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	elapsed := time.Since(start)
+
+	ev := in.Evaluate(placement)
+	fmt.Printf("algorithm=%s\n", algo)
+	fmt.Printf("objective=%.2f cost=%.2f latency-sum=%.2f instances=%d runtime=%v\n",
+		ev.Objective, ev.Cost, ev.LatencySum, placement.Instances(), elapsed)
+	fmt.Printf("feasible=%v (missing=%d deadline-violations=%d storage-violation-node=%d over-budget=%v)\n",
+		ev.Feasible(), ev.MissingInstances, ev.DeadlineViolated, ev.StorageViolatedAt, ev.OverBudget)
+
+	if verbose {
+		fmt.Println("placement (service: nodes):")
+		for i := 0; i < in.M(); i++ {
+			nodesOf := placement.NodesOf(i)
+			if len(nodesOf) == 0 {
+				continue
+			}
+			fmt.Printf("  %-20s %v\n", cat.Service(i).Name, nodesOf)
+		}
+	}
+	return nil
+}

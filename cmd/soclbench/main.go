@@ -1,0 +1,136 @@
+// Command soclbench regenerates the SoCL paper's evaluation tables and
+// figures (Figs. 2, 3, 4, 7, 8, 9, 10) using the drivers in
+// internal/experiments. Results print as text tables and, with -out, are
+// also written as one CSV per table.
+//
+// Usage:
+//
+//	soclbench -experiment all -out results/
+//	soclbench -experiment fig7 -short
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig2 | fig3 | fig4 | fig7 | fig8 | fig9 | fig10 | all | ext_budget | ext_lambda | ext_omega | ext_xi | ext_routing | ext_online | ext_decompose | ext_contention | ext_cloud | ext_cluster | ext_datasets | ext (all extensions)")
+		short      = flag.Bool("short", false, "reduced scales for a quick run")
+		seed       = flag.Int64("seed", 1, "root random seed")
+		out        = flag.String("out", "", "directory for CSV output (optional)")
+		svg        = flag.String("svg", "", "directory for SVG chart output (optional)")
+		replot     = flag.String("replot", "", "re-render SVGs from existing CSVs in this directory (skips running experiments)")
+		optLimit   = flag.Duration("opt-limit", 0, "per-solve cap for the exact optimizer (default 30s, 3s with -short)")
+	)
+	flag.Parse()
+
+	if *replot != "" {
+		dst := *svg
+		if dst == "" {
+			dst = *replot
+		}
+		n, err := experiments.Replot(*replot, dst)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soclbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[replotted %d charts into %s]\n", n, dst)
+		return
+	}
+	opts := experiments.Options{Short: *short, Seed: *seed, OutDir: *out, OptTimeLimit: *optLimit}
+	if err := run(*experiment, opts, *svg); err != nil {
+		fmt.Fprintln(os.Stderr, "soclbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, opts experiments.Options, svgDir string) error {
+	start := time.Now()
+	var tables []*experiments.Table
+	add := func(ts ...*experiments.Table) { tables = append(tables, ts...) }
+
+	runOne := func(id string) error {
+		t0 := time.Now()
+		switch id {
+		case "fig2":
+			add(experiments.Fig2(opts))
+		case "fig3":
+			a, b := experiments.Fig3(opts)
+			add(a, b)
+		case "fig4":
+			add(experiments.Fig4(opts))
+		case "fig7":
+			a, b := experiments.Fig7(opts)
+			add(a, b)
+		case "fig8":
+			add(experiments.Fig8(opts))
+		case "fig9":
+			add(experiments.Fig9(opts))
+		case "fig10":
+			a, b := experiments.Fig10(opts)
+			add(a, b)
+		case "ext_budget":
+			add(experiments.ExtBudget(opts))
+		case "ext_lambda":
+			add(experiments.ExtLambda(opts))
+		case "ext_omega":
+			add(experiments.ExtOmega(opts))
+		case "ext_xi":
+			add(experiments.ExtXi(opts))
+		case "ext_routing":
+			add(experiments.ExtRouting(opts))
+		case "ext_online":
+			add(experiments.ExtOnline(opts))
+		case "ext_decompose":
+			add(experiments.ExtDecompose(opts))
+		case "ext_contention":
+			add(experiments.ExtContention(opts))
+		case "ext_cloud":
+			add(experiments.ExtCloud(opts))
+		case "ext_cluster":
+			add(experiments.ExtCluster(opts))
+		case "ext_datasets":
+			add(experiments.ExtDatasets(opts))
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+
+	switch which {
+	case "all":
+		for _, id := range []string{"fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10"} {
+			if err := runOne(id); err != nil {
+				return err
+			}
+		}
+	case "ext":
+		for _, id := range []string{"ext_budget", "ext_lambda", "ext_omega", "ext_xi", "ext_routing", "ext_online", "ext_decompose", "ext_contention", "ext_cloud", "ext_cluster", "ext_datasets"} {
+			if err := runOne(id); err != nil {
+				return err
+			}
+		}
+	default:
+		if err := runOne(which); err != nil {
+			return err
+		}
+	}
+
+	if err := experiments.Emit(os.Stdout, opts, tables...); err != nil {
+		return err
+	}
+	if svgDir != "" {
+		if err := experiments.WriteSVGs(svgDir, tables...); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/topology"
+)
+
+func makeInstance(nodes, users int, seed int64, budget float64) *model.Instance {
+	g := topology.RandomGeometric(nodes, 0.35, topology.DefaultGenConfig(), seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(users), seed)
+	if err != nil {
+		panic(err)
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: budget}
+}
+
+func checkBaselineFeasibility(t *testing.T, in *model.Instance, p model.Placement, name string) {
+	t.Helper()
+	for _, svc := range in.Workload.ServicesUsed() {
+		if p.Count(svc) == 0 {
+			t.Fatalf("%s: service %d has no instance", name, svc)
+		}
+	}
+	if k := in.CheckStorage(p); k != -1 {
+		t.Fatalf("%s: storage violated at node %d", name, k)
+	}
+}
+
+func TestRPFeasibleAndBudgetHungry(t *testing.T) {
+	in := makeInstance(10, 40, 1, 8000)
+	p := RP(in, 7)
+	checkBaselineFeasibility(t, in, p, "RP")
+	cost := in.DeployCost(p)
+	if cost > in.Budget+1e-6 {
+		t.Fatalf("RP cost %v over budget %v", cost, in.Budget)
+	}
+	// RP should consume most of the budget (it fills greedily at random).
+	if cost < in.Budget*0.5 {
+		t.Fatalf("RP cost %v suspiciously low for budget %v", cost, in.Budget)
+	}
+}
+
+func TestRPDeterministicPerSeed(t *testing.T) {
+	in := makeInstance(8, 20, 2, 7000)
+	p1, p2 := RP(in, 5), RP(in, 5)
+	p3 := RP(in, 6)
+	same, diff := true, true
+	for i := 0; i < in.M(); i++ {
+		for k := 0; k < in.V(); k++ {
+			if p1.Has(i, k) != p2.Has(i, k) {
+				same = false
+			}
+			if p1.Has(i, k) != p3.Has(i, k) {
+				diff = false
+			}
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different RP placements")
+	}
+	if diff {
+		t.Fatal("different seeds produced identical RP placements")
+	}
+}
+
+func TestJDRPlacesSingleUserServicesNearHome(t *testing.T) {
+	in := makeInstance(10, 40, 3, 8000)
+	p := JDR(in)
+	checkBaselineFeasibility(t, in, p, "JDR")
+	if in.DeployCost(p) > in.Budget+1e-6 {
+		t.Fatal("JDR exceeded budget")
+	}
+	for _, svc := range in.Workload.ServicesUsed() {
+		demand := in.Workload.NodesRequesting(svc)
+		users := 0
+		for _, k := range demand {
+			users += in.Workload.DemandCount(k, svc)
+		}
+		if users == 1 {
+			// The instance should be at the home or as near as storage
+			// allowed; at minimum it exists (checked above). Verify it is
+			// unique (single-user services get exactly one instance).
+			if p.Count(svc) != 1 {
+				t.Fatalf("single-user service %d has %d instances", svc, p.Count(svc))
+			}
+		}
+	}
+}
+
+func TestJDRRedundantMultiUserDeployment(t *testing.T) {
+	// Generous budget AND storage: JDR's capacity tier is narrow (top fifth
+	// of servers), so its nodes must have room for replicas.
+	gcfg := topology.DefaultGenConfig()
+	gcfg.StorageMin, gcfg.StorageMax = 100, 200
+	g := topology.RandomGeometric(10, 0.35, gcfg, 4)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), 4)
+	w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(60), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e6}
+	p := JDR(in)
+	redundant := false
+	for _, svc := range in.Workload.ServicesUsed() {
+		if p.Count(svc) > 1 {
+			redundant = true
+		}
+	}
+	if !redundant {
+		t.Fatal("JDR produced no redundancy under a generous budget")
+	}
+}
+
+func TestGCOGConvergesAndFeasible(t *testing.T) {
+	in := makeInstance(8, 20, 5, 7000)
+	res := GCOG(in)
+	checkBaselineFeasibility(t, in, res.Placement, "GC-OG")
+	ev := in.Evaluate(res.Placement)
+	if ev.OverBudget {
+		t.Fatalf("GC-OG over budget: %v > %v", ev.Cost, in.Budget)
+	}
+	if res.Evals <= 0 || res.Rounds <= 0 {
+		t.Fatalf("GC-OG effort counters empty: %+v", res)
+	}
+}
+
+func TestGCOGBeatsRPOnObjective(t *testing.T) {
+	in := makeInstance(10, 40, 6, 8000)
+	evG := in.Evaluate(GCOG(in).Placement)
+	evR := in.Evaluate(RP(in, 1))
+	if evG.Objective > evR.Objective {
+		t.Fatalf("GC-OG (%v) worse than RP (%v)", evG.Objective, evR.Objective)
+	}
+}
+
+// Integration sanity for the paper's headline ordering on a mid-size
+// instance: SoCL ≤ GC-OG ≤ RP on the exact objective (JDR's position varies
+// with workload, so it is only checked against RP-level feasibility).
+func TestObjectiveOrderingSoCLFirst(t *testing.T) {
+	in := makeInstance(10, 60, 7, 8000)
+	sol, err := core.Solve(in, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	objSoCL := sol.Evaluation.Objective
+	objGC := in.Evaluate(GCOG(in).Placement).Objective
+	objRP := in.Evaluate(RP(in, 3)).Objective
+	if objSoCL > objRP {
+		t.Fatalf("SoCL (%v) worse than RP (%v)", objSoCL, objRP)
+	}
+	// GC-OG is the strong baseline; allow SoCL to trail it slightly but not
+	// grossly (paper: SoCL at or below GC-OG).
+	if objSoCL > objGC*1.15 {
+		t.Fatalf("SoCL (%v) more than 15%% worse than GC-OG (%v)", objSoCL, objGC)
+	}
+}
+
+// Property: every baseline returns a feasible, storage-respecting placement
+// on random instances.
+func TestBaselinesFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := makeInstance(8, 20, seed, 8000)
+		for _, p := range []model.Placement{RP(in, seed), JDR(in), GCOG(in).Placement} {
+			for _, svc := range in.Workload.ServicesUsed() {
+				if p.Count(svc) == 0 {
+					return false
+				}
+			}
+			if in.CheckStorage(p) != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func setup(nodes int, seed int64) (*topology.Graph, *msvc.Catalog) {
+	g := topology.RandomGeometric(nodes, 0.4, topology.DefaultGenConfig(), seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	return g, cat
+}
+
+func shortCfg(g *topology.Graph, cat *msvc.Catalog, users int, seed int64) Config {
+	cfg := DefaultConfig(g, cat, users, seed)
+	cfg.Horizon = 1800 // 6 slots of 5 minutes
+	return cfg
+}
+
+func TestRunBasics(t *testing.T) {
+	g, cat := setup(8, 1)
+	cfg := shortCfg(g, cat, 10, 1)
+	res, err := Run(cfg, sim.JDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	if len(res.Sojourns) != res.Completed {
+		t.Fatalf("sojourns %d != completed %d", len(res.Sojourns), res.Completed)
+	}
+	for _, s := range res.Sojourns {
+		if s < 0 {
+			t.Fatalf("negative sojourn %v", s)
+		}
+	}
+	if res.MeanSojourn() <= 0 || res.MaxSojourn() < res.MeanSojourn() {
+		t.Fatalf("sojourn stats inconsistent: mean=%v max=%v", res.MeanSojourn(), res.MaxSojourn())
+	}
+	if res.P95Sojourn() > res.MaxSojourn() {
+		t.Fatal("p95 > max")
+	}
+	if len(res.SlotCosts) == 0 {
+		t.Fatal("no slot costs recorded")
+	}
+	for k, b := range res.BusyFraction {
+		if b < 0 || b > 1+1e-9 {
+			t.Fatalf("node %d busy fraction %v out of range", k, b)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g, cat := setup(8, 2)
+	r1, err := Run(shortCfg(g, cat, 8, 2), sim.JDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(shortCfg(g, cat, 8, 2), sim.JDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Completed != r2.Completed || len(r1.Sojourns) != len(r2.Sojourns) {
+		t.Fatal("same seed produced different runs")
+	}
+	for i := range r1.Sojourns {
+		if r1.Sojourns[i] != r2.Sojourns[i] {
+			t.Fatal("sojourn streams differ")
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g, cat := setup(6, 3)
+	if _, err := Run(Config{}, sim.JDR{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := shortCfg(g, cat, 0, 3)
+	if _, err := Run(cfg, sim.JDR{}); err == nil {
+		t.Fatal("zero users accepted")
+	}
+	bad := shortCfg(g, msvc.NewCatalog(), 5, 3)
+	if _, err := Run(bad, sim.JDR{}); err == nil {
+		t.Fatal("flowless catalog accepted")
+	}
+}
+
+func TestColdStartsAccumulate(t *testing.T) {
+	g, cat := setup(10, 4)
+	cfg := shortCfg(g, cat, 15, 4)
+	cfg.MoveProb = 0.8 // high mobility → placements drift → cold starts
+	res, err := Run(cfg, sim.SoCL{Config: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdStarts == 0 {
+		t.Fatal("no cold starts despite drifting demand")
+	}
+}
+
+func TestOnlineWarmHasFewerColdStarts(t *testing.T) {
+	g, cat := setup(10, 5)
+	cfgA := shortCfg(g, cat, 15, 5)
+	oneShot, err := Run(cfgA, sim.SoCL{Config: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := shortCfg(g, cat, 15, 5)
+	online, err := Run(cfgB, sim.NewSoCLOnline(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.ColdStarts > oneShot.ColdStarts {
+		t.Fatalf("online cold starts %d exceed one-shot %d", online.ColdStarts, oneShot.ColdStarts)
+	}
+}
+
+func TestColdStartDelaysFirstSlotChanges(t *testing.T) {
+	// With an enormous cold start, any container launched after t=0 is
+	// useless for the rest of the horizon; requests routed to it stall and
+	// never complete. Compare against zero cold start: completions must not
+	// increase when cold start grows.
+	g, cat := setup(8, 6)
+	warm := shortCfg(g, cat, 10, 6)
+	warm.ColdStart = 0
+	resWarm, err := Run(warm, sim.SoCL{Config: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := shortCfg(g, cat, 10, 6)
+	cold.ColdStart = 1e7
+	resCold, err := Run(cold, sim.SoCL{Config: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCold.Completed > resWarm.Completed {
+		t.Fatalf("more completions with infinite cold start: %d > %d",
+			resCold.Completed, resWarm.Completed)
+	}
+}
+
+func TestAllAlgorithmsComplete(t *testing.T) {
+	g, cat := setup(8, 7)
+	for _, algo := range []sim.Algorithm{
+		sim.SoCL{Config: core.DefaultConfig()},
+		sim.NewSoCLOnline(core.DefaultConfig()),
+		sim.RP{Seed: 7},
+		sim.JDR{},
+	} {
+		cfg := shortCfg(g, cat, 8, 7)
+		cfg.Horizon = 900
+		res, err := Run(cfg, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if res.Completed == 0 {
+			t.Fatalf("%s: nothing completed", algo.Name())
+		}
+	}
+}
+
+func TestQueueingEmergesUnderLoad(t *testing.T) {
+	// Crank the arrival rate: sojourns must grow versus a light load run
+	// (queueing at nodes/links), while both stay positive.
+	g, cat := setup(6, 8)
+	light := shortCfg(g, cat, 5, 8)
+	light.MeanInterarrival = 600
+	heavy := shortCfg(g, cat, 5, 8)
+	heavy.MeanInterarrival = 10 // 60× the load
+	resL, err := Run(light, sim.JDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resH, err := Run(heavy, sim.JDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resH.Completed <= resL.Completed {
+		t.Fatalf("heavy load completed less: %d vs %d", resH.Completed, resL.Completed)
+	}
+	if resH.MeanSojourn() < resL.MeanSojourn() {
+		t.Fatalf("no queueing under heavy load: %v < %v", resH.MeanSojourn(), resL.MeanSojourn())
+	}
+}
+
+func TestBusyFractionReflectsLoad(t *testing.T) {
+	g, cat := setup(6, 9)
+	cfg := shortCfg(g, cat, 20, 9)
+	cfg.MeanInterarrival = 30
+	res, err := Run(cfg, sim.JDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, b := range res.BusyFraction {
+		total += b
+	}
+	if total <= 0 {
+		t.Fatal("no node did any work")
+	}
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// emptyPlacer deploys nothing: every admitted request must be counted
+// unserved rather than crash the runtime.
+type emptyPlacer struct{}
+
+func (emptyPlacer) Name() string               { return "empty" }
+func (emptyPlacer) Routing() model.RoutingMode { return model.RouteModeGreedy }
+func (emptyPlacer) Place(in *model.Instance) (model.Placement, error) {
+	return model.NewPlacement(in.M(), in.V()), nil
+}
+
+func TestEmptyPlacementCountsUnserved(t *testing.T) {
+	g, cat := setup(6, 11)
+	cfg := shortCfg(g, cat, 8, 11)
+	cfg.Horizon = 900
+	res, err := Run(cfg, emptyPlacer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("completed %d requests with no containers", res.Completed)
+	}
+	if res.Unserved == 0 {
+		t.Fatal("unserved not counted")
+	}
+}
+
+// failingPlacer errors at re-plan: the runtime must surface the error.
+type failingPlacer struct{}
+
+func (failingPlacer) Name() string               { return "failing" }
+func (failingPlacer) Routing() model.RoutingMode { return model.RouteModeGreedy }
+func (failingPlacer) Place(*model.Instance) (model.Placement, error) {
+	return model.Placement{}, errors.New("boom")
+}
+
+func TestPlannerErrorPropagates(t *testing.T) {
+	g, cat := setup(6, 12)
+	cfg := shortCfg(g, cat, 5, 12)
+	if _, err := Run(cfg, failingPlacer{}); err == nil {
+		t.Fatal("planner error swallowed")
+	}
+}
+
+func TestZeroMeanInterarrivalDefaults(t *testing.T) {
+	g, cat := setup(6, 13)
+	cfg := shortCfg(g, cat, 5, 13)
+	cfg.MeanInterarrival = 0
+	res, err := Run(cfg, sim.JDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("defaulted interarrival produced no traffic")
+	}
+}

@@ -1,0 +1,671 @@
+// Package combine implements Algorithms 3–5 of the SoCL paper: multi-scale
+// combination. Starting from the pre-provisioned placement 𝒫^t it merges
+// instances at two granularities:
+//
+//   - large-scale (parallel) gradient descent: while the deployment cost
+//     exceeds the budget, the ω-fraction of instances with the smallest
+//     latency loss ζ (Eq. 14) — after dependency-conflict filtering — is
+//     combined in one batch (Algorithm 3 lines 1–5, Algorithm 4);
+//   - small-scale (serial) gradient descent: instances are removed one at a
+//     time while the objective gradient δ = Q' − Q” + Θ stays positive,
+//     with storage planning (Algorithm 5, FuzzyAHP local demand factor ρ)
+//     and a deadline roll-back that re-adds and freezes instances whose
+//     removal violates constraint (4).
+//
+// Internal bookkeeping mirrors the paper's connection model: every request
+// step maintains a reliance — the instance serving it — updated by the
+// connection rule (same partition group preferred, then highest channel
+// speed from the user's home server).
+package combine
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/fuzzy"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// Config holds the combination hyper-parameters.
+type Config struct {
+	// Omega is ω: the fraction of instances combined per parallel batch.
+	Omega float64
+	// Theta is Θ: the positive disturbance that keeps the serial descent
+	// running through small objective rebounds.
+	Theta float64
+	// MaxRounds caps each phase's iterations (safety net; 0 = |M|·|V|).
+	MaxRounds int
+	// Warm, when non-zero, marks instances that were already running in the
+	// previous decision slot. Equal-ζ ties are broken toward removing cold
+	// instances first, so warm instances survive whenever the objective is
+	// indifferent — reducing placement churn in online operation.
+	Warm model.Placement
+	// WarmBias is added to a warm instance's ζ when ordering removal
+	// candidates: warm instances resist removal by this many latency units,
+	// trading a bounded amount of objective for fewer container cold-starts.
+	// 0 keeps the ordering purely objective-driven.
+	WarmBias float64
+}
+
+// DefaultConfig returns ω=0.25, Θ=1.0.
+func DefaultConfig() Config { return Config{Omega: 0.25, Theta: 1.0} }
+
+// Result reports the combination outcome.
+type Result struct {
+	Placement  model.Placement
+	BudgetMet  bool // deployment cost ≤ 𝒦^max after the parallel phase
+	Combined   int  // instances removed in total
+	RolledBack int  // deadline roll-backs in the serial phase
+	Migrated   int  // storage-planning migrations
+	ParallelRounds,
+	SerialRounds int
+}
+
+type instKey struct{ svc, node int }
+
+// cloudNode is the reliance marker for steps served by the cloud fallback.
+const cloudNode = -2
+
+type state struct {
+	in       *model.Instance
+	part     *partition.Result
+	place    model.Placement
+	rel      [][]int // reliance[h][t] = serving node, or cloudNode
+	frozen   map[instKey]bool
+	weights  []float64
+	cost     float64
+	warm     map[instKey]bool // instances running in the previous slot
+	warmBias float64
+}
+
+// Run executes the multi-scale combination on the pre-provisioned placement.
+func Run(in *model.Instance, part *partition.Result, pre model.Placement, cfg Config) Result {
+	if cfg.Omega <= 0 || cfg.Omega > 1 {
+		cfg.Omega = 0.25
+	}
+	if cfg.Theta < 0 {
+		cfg.Theta = 0
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = in.M()*in.V() + 16
+	}
+	s := &state{
+		in:       in,
+		part:     part,
+		place:    pre.Clone(),
+		frozen:   make(map[instKey]bool),
+		weights:  fuzzy.SoCLWeights(),
+		warm:     make(map[instKey]bool),
+		warmBias: cfg.WarmBias,
+	}
+	for i := range cfg.Warm.X {
+		for k, on := range cfg.Warm.X[i] {
+			if on {
+				s.warm[instKey{i, k}] = true
+			}
+		}
+	}
+	s.cost = in.DeployCost(s.place)
+	s.initReliance()
+
+	res := Result{}
+	res.BudgetMet = s.parallelPhase(cfg, &res)
+	s.serialPhase(cfg, &res)
+	// Final storage repair: the parallel phase does not run Algorithm 5, so
+	// a placement can exit the loop budget-feasible but storage-tight.
+	s.storagePlanning(&res)
+	res.Placement = s.place
+	return res
+}
+
+// --- reliance bookkeeping ---
+
+func (s *state) initReliance() {
+	reqs := s.in.Workload.Requests
+	s.rel = make([][]int, len(reqs))
+	for h := range reqs {
+		s.rel[h] = make([]int, len(reqs[h].Chain))
+		for t := range reqs[h].Chain {
+			s.rel[h][t] = s.pickReliance(h, t, -1)
+		}
+	}
+}
+
+// pickReliance applies the connection-update rule for request h's step t,
+// excluding node `excl` (-1 for none): prefer instances in the same
+// partition group as the home server, then the highest virtual channel
+// speed (equivalently the lowest path cost) from home. Returns -1 when the
+// service has no instance other than excl.
+func (s *state) pickReliance(h, t, excl int) int {
+	req := &s.in.Workload.Requests[h]
+	svc := req.Chain[t]
+	sp := s.part.ByService[svc]
+	homeGroup := -1
+	if sp != nil {
+		homeGroup = sp.GroupOf(req.Home)
+	}
+	best, bestCost, bestInGroup := -1, math.Inf(1), false
+	for _, k := range s.place.NodesOf(svc) {
+		if k == excl {
+			continue
+		}
+		inGroup := sp != nil && homeGroup != -1 && sp.GroupOf(k) == homeGroup
+		c := s.in.Graph.PathCost(req.Home, k)
+		// Group preference dominates; within a class, lowest cost wins.
+		if best == -1 || (inGroup && !bestInGroup) ||
+			(inGroup == bestInGroup && c < bestCost) {
+			best, bestCost, bestInGroup = k, c, inGroup
+		}
+	}
+	if best == -1 && s.in.Cloud != nil {
+		return cloudNode
+	}
+	return best
+}
+
+// stepData returns the data volume entering request h's step t.
+func (s *state) stepData(h, t int) float64 {
+	req := &s.in.Workload.Requests[h]
+	if t == 0 {
+		return req.DataIn
+	}
+	return req.EdgeData[t-1]
+}
+
+// stepLatency is the ψ contribution of serving (h,t) at node k: transfer of
+// the step's data from home plus compute time.
+func (s *state) stepLatency(h, t, k int) float64 {
+	req := &s.in.Workload.Requests[h]
+	if k == cloudNode {
+		// Cloud-served step: WAN transfer of the step's data plus cloud
+		// compute (the evaluator's whole-request fallback is the
+		// per-request analogue; see model.CloudConfig).
+		return s.stepData(h, t)*s.in.Cloud.TransferCost +
+			s.in.Workload.Catalog.Service(req.Chain[t]).Compute/s.in.Cloud.Compute
+	}
+	c := s.in.Graph.PathCost(req.Home, k)
+	if math.IsInf(c, 1) {
+		return 1e12
+	}
+	return s.stepData(h, t)*c +
+		s.in.Workload.Catalog.Service(req.Chain[t]).Compute/s.in.Graph.Node(k).Compute
+}
+
+// starObjective is the internal Q of Algorithm 3: λ·cost + (1−λ)·Σψ over
+// current reliances.
+func (s *state) starObjective() float64 {
+	lat := 0.0
+	for h := range s.rel {
+		for t, k := range s.rel[h] {
+			if k == -1 {
+				return math.Inf(1)
+			}
+			lat += s.stepLatency(h, t, k)
+		}
+	}
+	return s.in.Objective(s.cost, lat)
+}
+
+// --- latency loss (Algorithm 4) ---
+
+// zeta computes ζ_{i,k} (Eq. 14) for the instance (svc, node): the latency
+// increase of moving every relying step to its best alternative. +Inf when
+// some step would have no alternative.
+func (s *state) zeta(svc, node int) float64 {
+	loss := 0.0
+	for h := range s.rel {
+		req := &s.in.Workload.Requests[h]
+		for t, k := range s.rel[h] {
+			if k != node || req.Chain[t] != svc {
+				continue
+			}
+			alt := s.pickReliance(h, t, node)
+			if alt == -1 {
+				return math.Inf(1) // no alternative and no cloud
+			}
+			loss += s.stepLatency(h, t, alt) - s.stepLatency(h, t, node)
+		}
+	}
+	return loss
+}
+
+type scoredInst struct {
+	key  instKey
+	zeta float64
+}
+
+// zetaParallelThreshold is the eligible-instance count above which ζ values
+// are computed concurrently. ζ computations are independent reads of the
+// combination state, so the parallel path is deterministic.
+const zetaParallelThreshold = 32
+
+// updateInstanceSet is Algorithm 4: the eligible instances with their ζ,
+// sorted ascending (highest combination priority first). Services reduced
+// to a single instance are excluded to preserve service continuity. Large
+// instance sets are scored in parallel — the "parallel" in the paper's
+// parallel local search.
+func (s *state) updateInstanceSet() []scoredInst {
+	var out []scoredInst
+	for _, svc := range s.in.Workload.ServicesUsed() {
+		nodes := s.place.NodesOf(svc)
+		// Line 2-3: single-instance services are skipped for continuity —
+		// unless the cloud fallback exists, in which case even the last
+		// instance may combine (the service then runs from the cloud).
+		if len(nodes) <= 1 && s.in.Cloud == nil {
+			continue
+		}
+		for _, k := range nodes {
+			key := instKey{svc, k}
+			if s.frozen[key] {
+				continue
+			}
+			out = append(out, scoredInst{key, 0})
+		}
+	}
+	if len(out) >= zetaParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		workers := runtime.GOMAXPROCS(0)
+		chunk := (len(out) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(out) {
+				hi = len(out)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					out[i].zeta = s.zeta(out[i].key.svc, out[i].key.node)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := range out {
+			out[i].zeta = s.zeta(out[i].key.svc, out[i].key.node)
+		}
+	}
+	// Removal priority: warm instances resist removal by WarmBias latency
+	// units; exact ties still break cold-first (churn bias).
+	rank := func(sc scoredInst) float64 {
+		if s.warm[sc.key] && !math.IsInf(sc.zeta, 1) {
+			return sc.zeta + s.warmBias
+		}
+		return sc.zeta
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := rank(out[i]), rank(out[j])
+		if ri != rj {
+			return ri < rj
+		}
+		wi, wj := s.warm[out[i].key], s.warm[out[j].key]
+		if wi != wj {
+			return !wi // cold sorts first (combined first)
+		}
+		if out[i].key.svc != out[j].key.svc {
+			return out[i].key.svc < out[j].key.svc
+		}
+		return out[i].key.node < out[j].key.node
+	})
+	return out
+}
+
+// removeInstance deletes (svc,node) and re-homes every relying step.
+// It returns the list of (h,t) pairs whose reliance changed, for undo.
+func (s *state) removeInstance(svc, node int) [][2]int {
+	s.place.Set(svc, node, false)
+	s.cost -= s.in.Workload.Catalog.Service(svc).DeployCost
+	var moved [][2]int
+	for h := range s.rel {
+		req := &s.in.Workload.Requests[h]
+		for t, k := range s.rel[h] {
+			if k == node && req.Chain[t] == svc {
+				s.rel[h][t] = s.pickReliance(h, t, -1)
+				moved = append(moved, [2]int{h, t})
+			}
+		}
+	}
+	return moved
+}
+
+// --- large-scale parallel phase (Algorithm 3 lines 1–5) ---
+
+func (s *state) parallelPhase(cfg Config, res *Result) bool {
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if s.cost <= s.in.Budget {
+			return true
+		}
+		list := s.updateInstanceSet()
+		if len(list) == 0 {
+			return s.cost <= s.in.Budget
+		}
+		batch := int(math.Ceil(cfg.Omega * float64(len(list))))
+		if batch < 1 {
+			batch = 1
+		}
+		if batch > len(list) {
+			batch = len(list)
+		}
+		omega := list[:batch]
+		omega = s.filterDependencyConflicts(omega)
+
+		removedAny := false
+		perSvc := map[int]int{}
+		for _, inst := range omega {
+			if s.cost <= s.in.Budget {
+				break
+			}
+			if math.IsInf(inst.zeta, 1) {
+				continue
+			}
+			// Never remove below one instance even if the batch contains
+			// several instances of the same service — unless the cloud
+			// fallback can absorb the service entirely.
+			floor := 1
+			if s.in.Cloud != nil {
+				floor = 0
+			}
+			if s.place.Count(inst.key.svc)-perSvc[inst.key.svc] <= floor {
+				continue
+			}
+			if !s.place.Has(inst.key.svc, inst.key.node) {
+				continue
+			}
+			s.removeInstance(inst.key.svc, inst.key.node)
+			perSvc[inst.key.svc]++
+			res.Combined++
+			removedAny = true
+		}
+		res.ParallelRounds++
+		if !removedAny {
+			return s.cost <= s.in.Budget
+		}
+	}
+	return s.cost <= s.in.Budget
+}
+
+// filterDependencyConflicts implements line 4 of Algorithm 3: when two
+// batch instances belong to services adjacent in some user's dependency
+// chain, the one with the larger ζ is discarded.
+func (s *state) filterDependencyConflicts(omega []scoredInst) []scoredInst {
+	adjacent := s.dependencyAdjacency()
+	drop := make([]bool, len(omega))
+	for i := 0; i < len(omega); i++ {
+		for j := i + 1; j < len(omega); j++ {
+			if drop[i] || drop[j] {
+				continue
+			}
+			a, b := omega[i].key.svc, omega[j].key.svc
+			if a == b || !adjacent[[2]int{a, b}] {
+				continue
+			}
+			if omega[i].zeta >= omega[j].zeta {
+				drop[i] = true
+			} else {
+				drop[j] = true
+			}
+		}
+	}
+	var out []scoredInst
+	for i, inst := range omega {
+		if !drop[i] {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// dependencyAdjacency returns the symmetric set of service pairs adjacent
+// in at least one request chain.
+func (s *state) dependencyAdjacency() map[[2]int]bool {
+	adj := map[[2]int]bool{}
+	for h := range s.in.Workload.Requests {
+		chain := s.in.Workload.Requests[h].Chain
+		for t := 1; t < len(chain); t++ {
+			adj[[2]int{chain[t-1], chain[t]}] = true
+			adj[[2]int{chain[t], chain[t-1]}] = true
+		}
+	}
+	return adj
+}
+
+// --- small-scale serial phase (Algorithm 3 lines 6–15) ---
+
+func (s *state) serialPhase(cfg Config, res *Result) {
+	for round := 0; round < cfg.MaxRounds; round++ {
+		list := s.updateInstanceSet()
+		if len(list) == 0 {
+			return
+		}
+		inst := list[0] // argmin ζ
+		if math.IsInf(inst.zeta, 1) {
+			return
+		}
+		qBefore := s.starObjective()
+		snap := s.snapshot()
+		s.removeInstance(inst.key.svc, inst.key.node)
+		res.SerialRounds++
+
+		// Algorithm 5: storage planning after the combination.
+		if !s.storagePlanning(res) {
+			// Storage unsatisfiable at this size: keep combining (the
+			// parallel loop's "continue" in line 17) — i.e., accept the
+			// removal and move on.
+			res.Combined++
+			continue
+		}
+
+		// Constraint (4): exact deadline check with optimal routing. The
+		// roll-back restores the full pre-step state — including any
+		// storage migrations this step performed — so a rolled-back step
+		// never leaves residual deadline damage.
+		if s.deadlineViolated() {
+			s.restore(snap)
+			s.frozen[inst.key] = true // never combine this instance again
+			res.RolledBack++
+			continue
+		}
+
+		qAfter := s.starObjective()
+		delta := qBefore - qAfter + cfg.Theta
+		if delta <= 0 {
+			// Objective rose beyond the disturbance: revert and stop.
+			s.restore(snap)
+			return
+		}
+		res.Combined++
+	}
+}
+
+// snapshot captures placement, reliances and cost for a full step undo.
+type snapState struct {
+	place model.Placement
+	rel   [][]int
+	cost  float64
+}
+
+func (s *state) snapshot() snapState {
+	rel := make([][]int, len(s.rel))
+	for h := range s.rel {
+		rel[h] = append([]int(nil), s.rel[h]...)
+	}
+	return snapState{place: s.place.Clone(), rel: rel, cost: s.cost}
+}
+
+func (s *state) restore(sn snapState) {
+	s.place = sn.place
+	s.rel = sn.rel
+	s.cost = sn.cost
+}
+
+// deadlineViolated checks constraint (4) under exact optimal routing.
+func (s *state) deadlineViolated() bool {
+	for h := range s.in.Workload.Requests {
+		req := &s.in.Workload.Requests[h]
+		if math.IsInf(req.Deadline, 1) {
+			continue
+		}
+		_, d, err := s.in.RouteOptimal(req, s.place)
+		if err != nil || d > req.Deadline+1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// --- storage planning (Algorithm 5) ---
+
+// storagePlanning migrates low-priority instances off overflowing nodes to
+// the nearest (fastest-link) node with room. Returns false when the total
+// instance volume exceeds total storage (more combining required).
+func (s *state) storagePlanning(res *Result) bool {
+	in := s.in
+	totalNeed := 0.0
+	for i := 0; i < in.M(); i++ {
+		totalNeed += float64(s.place.Count(i)) * in.Workload.Catalog.Service(i).Storage
+	}
+	if totalNeed > in.Graph.TotalStorage()+1e-9 {
+		return false
+	}
+	for k := 0; k < in.V(); k++ {
+		guard := 0
+		for in.StorageUsed(s.place, k) > in.Graph.Node(k).Storage+1e-9 {
+			guard++
+			if guard > in.M()+1 {
+				return false
+			}
+			j := s.lowestPriorityService(k)
+			if j == -1 {
+				return false
+			}
+			if !s.migrate(j, k, res) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// lowestPriorityService returns the service on node k with the smallest
+// local demand factor ρ (Definition 9), or -1 when the node is empty.
+func (s *state) lowestPriorityService(k int) int {
+	best, bestRho := -1, math.Inf(1)
+	for i := 0; i < s.in.M(); i++ {
+		if !s.place.Has(i, k) {
+			continue
+		}
+		if rho := s.localDemandFactor(i, k); rho < bestRho {
+			best, bestRho = i, rho
+		}
+	}
+	return best
+}
+
+// localDemandFactor computes ρ_{v_k}^{m_i} by FuzzyAHP-weighted criteria:
+// requesting users, chain-order factor ℝ, deployment cost, and (inverted)
+// storage footprint. Higher ρ means higher keep-priority.
+func (s *state) localDemandFactor(svc, k int) float64 {
+	in := s.in
+	cat := in.Workload.Catalog
+
+	users := float64(in.Workload.DemandCount(k, svc))
+	var uf, ul, um float64
+	for h := range in.Workload.Requests {
+		req := &in.Workload.Requests[h]
+		if req.Home != k {
+			continue
+		}
+		switch req.Position(svc) {
+		case "first":
+			uf++
+		case "last":
+			ul++
+		case "mid":
+			um++
+		}
+	}
+	order := 0.0
+	if users > 0 {
+		order = (3*uf + 2*ul + um) / users
+	}
+
+	// Normalizers: max user demand over all (node,service) pairs with this
+	// service, max κ, max φ across the catalog.
+	maxUsers := 1.0
+	for q := 0; q < in.V(); q++ {
+		if u := float64(in.Workload.DemandCount(q, svc)); u > maxUsers {
+			maxUsers = u
+		}
+	}
+	maxKappa, maxPhi := 1.0, 1.0
+	for i := 0; i < in.M(); i++ {
+		m := cat.Service(i)
+		if m.DeployCost > maxKappa {
+			maxKappa = m.DeployCost
+		}
+		if m.Storage > maxPhi {
+			maxPhi = m.Storage
+		}
+	}
+	m := cat.Service(svc)
+	w := s.weights
+	return w[fuzzy.CritUsers]*(users/maxUsers) +
+		w[fuzzy.CritOrder]*(order/3) + // ℝ ∈ [0,3]
+		w[fuzzy.CritCost]*(m.DeployCost/maxKappa) +
+		w[fuzzy.CritStorage]*(1-m.Storage/maxPhi)
+}
+
+// migrate moves service svc off node k to the best-connected node with room
+// and no existing instance, updating reliances. Returns false when no
+// target fits.
+func (s *state) migrate(svc, k int, res *Result) bool {
+	in := s.in
+	phi := in.Workload.Catalog.Service(svc).Storage
+	// Targets ordered by channel speed from k, fastest first (line 11).
+	type cand struct {
+		q    int
+		cost float64
+	}
+	var cands []cand
+	for q := 0; q < in.V(); q++ {
+		if q == k {
+			continue
+		}
+		cands = append(cands, cand{q, in.Graph.PathCost(k, q)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].cost != cands[j].cost {
+			return cands[i].cost < cands[j].cost
+		}
+		return cands[i].q < cands[j].q
+	})
+	for _, c := range cands {
+		if s.place.Has(svc, c.q) {
+			continue
+		}
+		if in.StorageUsed(s.place, c.q)+phi > in.Graph.Node(c.q).Storage+1e-9 {
+			continue
+		}
+		// Move: deployment cost is unchanged (one instance either way).
+		s.place.Set(svc, k, false)
+		s.place.Set(svc, c.q, true)
+		for h := range s.rel {
+			req := &in.Workload.Requests[h]
+			for t, node := range s.rel[h] {
+				if node == k && req.Chain[t] == svc {
+					s.rel[h][t] = s.pickReliance(h, t, -1)
+				}
+			}
+		}
+		delete(s.frozen, instKey{svc, k})
+		res.Migrated++
+		return true
+	}
+	return false
+}

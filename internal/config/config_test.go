@@ -1,0 +1,182 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDefaultScenarioBuilds(t *testing.T) {
+	sc := Default()
+	in, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.V() != 10 || len(in.Workload.Requests) != 40 {
+		t.Fatalf("built %d nodes, %d users", in.V(), len(in.Workload.Requests))
+	}
+	// The default scenario must be solvable end to end.
+	sol, err := core.Solve(in, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Evaluation.MissingInstances != 0 {
+		t.Fatal("default scenario unsolvable")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sc := Default()
+	sc.Name = "roundtrip"
+	sc.Topology.Kind = "stadium"
+	sc.Topology.Nodes = 12
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := sc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "roundtrip" || got.Topology.Kind != "stadium" || got.Topology.Nodes != 12 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	in1, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in1.V() != in2.V() || len(in1.Workload.Requests) != len(in2.Workload.Requests) {
+		t.Fatal("round-tripped scenario builds a different instance")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.Lambda = 2 },
+		func(s *Scenario) { s.Budget = 0 },
+		func(s *Scenario) { s.Topology.Kind = "???" },
+		func(s *Scenario) { s.Topology.Kind = "geometric"; s.Topology.Nodes = 0 },
+		func(s *Scenario) { s.Topology.Kind = "grid"; s.Topology.Rows = 0 },
+		func(s *Scenario) { s.Topology.Kind = "explicit"; s.Topology.NodeList = nil },
+		func(s *Scenario) { s.Catalog.Kind = "???" },
+		func(s *Scenario) { s.Catalog.Kind = "synthetic"; s.Catalog.NumServices = 1 },
+		func(s *Scenario) { s.Catalog.Kind = "explicit" },
+		func(s *Scenario) { s.Workload.NumUsers = -1 },
+	}
+	for i, mutate := range cases {
+		sc := Default()
+		mutate(sc)
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("case %d: invalid scenario accepted", i)
+		}
+	}
+}
+
+func TestExplicitTopologyAndCatalog(t *testing.T) {
+	sc := Default()
+	sc.Topology = TopologySpec{
+		Kind: "explicit",
+		NodeList: []NodeSpec{
+			{X: 0, Y: 0, Compute: 10, Storage: 20},
+			{X: 1, Y: 0, Compute: 15, Storage: 20},
+		},
+		LinkList: []LinkSpec{{A: 0, B: 1, Rate: 40}},
+	}
+	sc.Catalog = CatalogSpec{
+		Kind: "explicit",
+		Services: []ServiceSpec{
+			{Name: "auth", DeployCost: 300, Compute: 1, Storage: 1},
+			{Name: "api", DeployCost: 400, Compute: 2, Storage: 1},
+		},
+		Flows: [][]string{{"auth", "api"}},
+	}
+	sc.Workload.NumUsers = 5
+	sc.Workload.HotspotNodes = 2
+	in, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.V() != 2 || in.M() != 2 {
+		t.Fatalf("explicit build: V=%d M=%d", in.V(), in.M())
+	}
+	sol, err := core.Solve(in, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Evaluation.Feasible() {
+		t.Fatalf("explicit scenario infeasible: %+v", sol.Evaluation)
+	}
+}
+
+func TestExplicitCatalogErrors(t *testing.T) {
+	sc := Default()
+	sc.Catalog = CatalogSpec{
+		Kind:     "explicit",
+		Services: []ServiceSpec{{Name: "a", DeployCost: 1, Compute: 1, Storage: 1}},
+		Flows:    [][]string{{"a", "zzz"}},
+	}
+	if _, err := sc.Build(); err == nil {
+		t.Fatal("unknown flow service accepted")
+	}
+	sc.Catalog.Flows = [][]string{{"a", "a"}}
+	if _, err := sc.Build(); err == nil {
+		t.Fatal("duplicate consecutive flow accepted")
+	}
+}
+
+func TestExplicitTopologyLinkError(t *testing.T) {
+	sc := Default()
+	sc.Topology = TopologySpec{
+		Kind:     "explicit",
+		NodeList: []NodeSpec{{Compute: 10, Storage: 5}},
+		LinkList: []LinkSpec{{A: 0, B: 7, Rate: 10}},
+	}
+	if _, err := sc.Build(); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+}
+
+func TestGenRangeOverride(t *testing.T) {
+	sc := Default()
+	sc.Topology.Gen = &GenRanges{
+		ComputeMin: 50, ComputeMax: 60,
+		StorageMin: 9, StorageMax: 10,
+		RateMin: 5, RateMax: 6,
+	}
+	in, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range in.Graph.Nodes() {
+		if n.Compute < 50 || n.Compute > 60 {
+			t.Fatalf("compute %v outside override", n.Compute)
+		}
+	}
+}
+
+func TestAllGeneratorKinds(t *testing.T) {
+	for _, kind := range []string{"geometric", "stadium", "ringhubs", "grid"} {
+		sc := Default()
+		sc.Topology.Kind = kind
+		sc.Topology.Nodes = 12
+		sc.Topology.Rows, sc.Topology.Cols = 3, 4
+		in, err := sc.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if in.V() == 0 {
+			t.Fatalf("%s: empty graph", kind)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/topology"
+)
+
+func makeInstance(nodes, users int, seed int64, budget float64) *model.Instance {
+	g := topology.RandomGeometric(nodes, 0.35, topology.DefaultGenConfig(), seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(users), seed)
+	if err != nil {
+		panic(err)
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: budget}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	in := makeInstance(10, 40, 1, 8000)
+	sol, err := Solve(in, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := sol.Evaluation
+	if ev.MissingInstances != 0 {
+		t.Fatalf("missing instances: %d", ev.MissingInstances)
+	}
+	if ev.OverBudget {
+		t.Fatalf("over budget: cost=%v budget=%v", ev.Cost, in.Budget)
+	}
+	if ev.StorageViolatedAt != -1 {
+		t.Fatalf("storage violated at node %d", ev.StorageViolatedAt)
+	}
+	if sol.Stats.FinalInstances <= 0 || sol.Stats.FinalInstances > sol.Stats.PreprovInstances {
+		t.Fatalf("instances: pre=%d final=%d", sol.Stats.PreprovInstances, sol.Stats.FinalInstances)
+	}
+	if !sol.Stats.BudgetMet {
+		t.Fatal("budget not met on a feasible instance")
+	}
+	if sol.Stats.Total <= 0 {
+		t.Fatal("timing not recorded")
+	}
+}
+
+func TestSolveRejectsInvalidInstance(t *testing.T) {
+	in := makeInstance(6, 10, 2, 8000)
+	in.Lambda = -1
+	if _, err := Solve(in, DefaultConfig()); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestSolveSmallNetwork(t *testing.T) {
+	// Single-node network: everything deploys locally.
+	g := topology.New(1)
+	g.AddNode(0, 0, 10, 100)
+	g.Finalize()
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), 3)
+	cfg := msvc.DefaultWorkloadConfig(5)
+	cfg.HotspotNodes = 1
+	w, err := msvc.GenerateWorkload(cat, g, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e5}
+	sol, err := Solve(in, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Evaluation.MissingInstances != 0 {
+		t.Fatal("single-node network not covered")
+	}
+	for _, svc := range in.Workload.ServicesUsed() {
+		if !sol.Placement.Has(svc, 0) {
+			t.Fatalf("service %d not on the only node", svc)
+		}
+	}
+}
+
+// Property: SoCL solutions are feasible (budget, storage, coverage) across
+// random instances with workable budgets.
+func TestSolveFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := makeInstance(8, 25, seed, 8000)
+		sol, err := Solve(in, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		ev := sol.Evaluation
+		return ev.MissingInstances == 0 && !ev.OverBudget && ev.StorageViolatedAt == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinism of the full pipeline.
+func TestSolveDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in1 := makeInstance(8, 20, seed, 7000)
+		in2 := makeInstance(8, 20, seed, 7000)
+		s1, err1 := Solve(in1, DefaultConfig())
+		s2, err2 := Solve(in2, DefaultConfig())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < in1.M(); i++ {
+			for k := 0; k < in1.V(); k++ {
+				if s1.Placement.Has(i, k) != s2.Placement.Has(i, k) {
+					return false
+				}
+			}
+		}
+		return s1.Evaluation.Objective == s2.Evaluation.Objective
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

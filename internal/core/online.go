@@ -1,0 +1,137 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/combine"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/preprov"
+)
+
+// OnlineSolver runs SoCL in the paper's time-slotted online mode: at each
+// slot it re-plans against the observed demand, but instead of starting
+// from scratch it retains the previous slot's surviving instances as warm
+// starts — the paper's "flexible storage planning … allowing more warm
+// instances in the nearby area" — and reports placement churn (instances
+// started/stopped versus the previous slot), the metric an operator pays
+// for as container cold-starts.
+//
+// OnlineSolver is not safe for concurrent use; drive one per simulated
+// cluster.
+type OnlineSolver struct {
+	cfg     Config
+	prev    model.Placement
+	hasPrev bool
+}
+
+// NewOnlineSolver returns an online solver with the given stage
+// configuration.
+func NewOnlineSolver(cfg Config) *OnlineSolver {
+	return &OnlineSolver{cfg: cfg}
+}
+
+// OnlineStats extends the per-slot solution with churn accounting.
+type OnlineStats struct {
+	Started int // instances newly deployed vs the previous slot
+	Stopped int // instances torn down vs the previous slot
+	Kept    int // instances carried over
+}
+
+// Reset drops the warm state, making the next Step a cold start.
+func (o *OnlineSolver) Reset() { o.hasPrev = false; o.prev = model.Placement{} }
+
+// Step solves one slot. The instance may have a different workload each
+// slot but must keep the same catalog size and node count for warm reuse;
+// if the shape changed, the warm state is dropped automatically.
+func (o *OnlineSolver) Step(in *model.Instance) (*Solution, OnlineStats, error) {
+	if err := in.Validate(); err != nil {
+		return nil, OnlineStats{}, err
+	}
+	if o.hasPrev && (len(o.prev.X) != in.M() || lenRowBool(o.prev.X) != in.V()) {
+		o.Reset()
+	}
+
+	sol := &Solution{}
+	start := time.Now()
+
+	t0 := time.Now()
+	sol.Partition = partition.Build(in, o.cfg.Partition)
+	sol.Stats.PartitionTime = time.Since(t0)
+
+	t1 := time.Now()
+	sol.Preprov = preprov.Run(in, sol.Partition)
+	sol.Stats.PreprovTime = time.Since(t1)
+
+	// Warm retention: union the fresh pre-provisioning with the previous
+	// slot's instances for services the current workload still uses. The
+	// combination stage then trims the union under the current budget, so
+	// a stale instance survives only if it still pays for itself.
+	pre := sol.Preprov.Placement.Clone()
+	if o.hasPrev {
+		used := make(map[int]bool)
+		for _, svc := range in.Workload.ServicesUsed() {
+			used[svc] = true
+		}
+		for i := range o.prev.X {
+			if !used[i] {
+				continue
+			}
+			for k, on := range o.prev.X[i] {
+				if on {
+					pre.Set(i, k, true)
+				}
+			}
+		}
+	}
+	sol.Stats.PreprovInstances = pre.Instances()
+
+	t2 := time.Now()
+	ccfg := o.cfg.Combine
+	if o.hasPrev {
+		// Warm instances resist removal (fewer container cold-starts); the
+		// bias defaults to 2Θ when the caller didn't choose one.
+		ccfg.Warm = o.prev
+		if ccfg.WarmBias == 0 {
+			ccfg.WarmBias = 2 * combineTheta(ccfg)
+		}
+	}
+	comb := combine.Run(in, sol.Partition, pre, ccfg)
+	sol.Stats.CombineTime = time.Since(t2)
+
+	sol.Placement = comb.Placement
+	sol.Stats.FinalInstances = comb.Placement.Instances()
+	sol.Stats.Combined = comb.Combined
+	sol.Stats.RolledBack = comb.RolledBack
+	sol.Stats.Migrated = comb.Migrated
+	sol.Stats.BudgetMet = comb.BudgetMet
+	sol.Stats.Total = time.Since(start)
+	sol.Evaluation = in.Evaluate(sol.Placement)
+
+	var st OnlineStats
+	if o.hasPrev {
+		st.Started, st.Stopped = model.PlacementDiff(o.prev, sol.Placement)
+		st.Kept = sol.Placement.Instances() - st.Started
+	} else {
+		st.Started = sol.Placement.Instances()
+	}
+	o.prev = sol.Placement.Clone()
+	o.hasPrev = true
+	return sol, st, nil
+}
+
+// combineTheta returns the effective Θ of a combine config (its default
+// when unset), used to scale the online warm bias.
+func combineTheta(cfg combine.Config) float64 {
+	if cfg.Theta > 0 {
+		return cfg.Theta
+	}
+	return combine.DefaultConfig().Theta
+}
+
+func lenRowBool(x [][]bool) int {
+	if len(x) == 0 {
+		return 0
+	}
+	return len(x[0])
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/viz"
+)
+
+// Chart renders a table the harness knows how to plot into a standalone
+// SVG. ok is false for tables without a chart mapping (they remain
+// CSV/text only).
+func Chart(t *Table) (svg string, ok bool) {
+	switch t.ID {
+	case "fig2":
+		return chartFig2(t), true
+	case "fig4":
+		return chartFig4(t), true
+	case "fig7ab":
+		return chartFig7(t, "users"), true
+	case "fig7cd":
+		return chartFig7(t, "nodes"), true
+	case "fig8":
+		return chartFig8(t), true
+	case "fig10":
+		return chartFig10(t), true
+	default:
+		return "", false
+	}
+}
+
+// WriteSVGs renders every chartable table into dir/<id>.svg.
+func WriteSVGs(dir string, tables ...*Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		svg, ok := Chart(t)
+		if !ok {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, t.ID+".svg"), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// col returns the values of a named column as floats (NaN-free rows only).
+func (t *Table) col(name string) []float64 {
+	idx := -1
+	for i, h := range t.Header {
+		if h == name {
+			idx = i
+		}
+	}
+	if idx == -1 {
+		return nil
+	}
+	var out []float64
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[idx], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// cellAt returns the string cell at (row, column-name).
+func (t *Table) cellAt(row int, name string) string {
+	for i, h := range t.Header {
+		if h == name {
+			return t.Rows[row][i]
+		}
+	}
+	return ""
+}
+
+func parseF(s string) (float64, bool) {
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+func chartFig2(t *Table) string {
+	// One series per node count: runtime vs users, log y.
+	byNodes := map[string]*viz.Series{}
+	var order []string
+	for i := range t.Rows {
+		n := t.cellAt(i, "nodes")
+		u, ok1 := parseF(t.cellAt(i, "users"))
+		r, ok2 := parseF(t.cellAt(i, "runtime_s"))
+		if !ok1 || !ok2 {
+			continue
+		}
+		s, ok := byNodes[n]
+		if !ok {
+			s = &viz.Series{Name: n + " nodes"}
+			byNodes[n] = s
+			order = append(order, n)
+		}
+		s.X = append(s.X, u)
+		s.Y = append(s.Y, r)
+	}
+	series := make([]viz.Series, 0, len(order))
+	for _, n := range order {
+		series = append(series, *byNodes[n])
+	}
+	return viz.LineChart("Fig. 2 — exact optimizer runtime", "users", "runtime (s, log)", series, true)
+}
+
+func chartFig4(t *Table) string {
+	s := viz.Series{Name: "requests"}
+	for i := range t.Rows {
+		x, ok1 := parseF(t.cellAt(i, "t_minutes"))
+		y, ok2 := parseF(t.cellAt(i, "requests"))
+		if !ok1 || !ok2 {
+			continue // skips the peak_to_mean summary row
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	return viz.LineChart("Fig. 4 — temporal request distribution", "minutes", "requests / 10 min", []viz.Series{s}, false)
+}
+
+func chartFig7(t *Table, xCol string) string {
+	opt := viz.Series{Name: "OPT"}
+	socl := viz.Series{Name: "SoCL"}
+	for i := range t.Rows {
+		x, ok := parseF(t.cellAt(i, xCol))
+		if !ok {
+			continue
+		}
+		if y, ok := parseF(t.cellAt(i, "opt_runtime_s")); ok {
+			opt.X = append(opt.X, x)
+			opt.Y = append(opt.Y, y)
+		}
+		if y, ok := parseF(t.cellAt(i, "socl_runtime_s")); ok {
+			socl.X = append(socl.X, x)
+			socl.Y = append(socl.Y, y)
+		}
+	}
+	title := fmt.Sprintf("Fig. 7 — OPT vs SoCL runtime over %s", xCol)
+	return viz.LineChart(title, xCol, "runtime (s, log)", []viz.Series{opt, socl}, true)
+}
+
+func chartFig8(t *Table) string {
+	// Grouped bars: objective by user scale × algorithm.
+	var labels []string
+	seen := map[string]bool{}
+	algoSeries := map[string]*viz.Series{}
+	var algoOrder []string
+	for i := range t.Rows {
+		u := t.cellAt(i, "users")
+		if !seen[u] {
+			seen[u] = true
+			labels = append(labels, u)
+		}
+		algo := t.cellAt(i, "algorithm")
+		if _, ok := algoSeries[algo]; !ok {
+			algoSeries[algo] = &viz.Series{Name: algo}
+			algoOrder = append(algoOrder, algo)
+		}
+	}
+	for _, algo := range algoOrder {
+		for _, u := range labels {
+			for i := range t.Rows {
+				if t.cellAt(i, "users") == u && t.cellAt(i, "algorithm") == algo {
+					if y, ok := parseF(t.cellAt(i, "objective")); ok {
+						algoSeries[algo].Y = append(algoSeries[algo].Y, y)
+					}
+				}
+			}
+		}
+	}
+	series := make([]viz.Series, 0, len(algoOrder))
+	for _, a := range algoOrder {
+		series = append(series, *algoSeries[a])
+	}
+	return viz.GroupedBarChart("Fig. 8 — objective vs user scale", "objective", labels, series)
+}
+
+func chartFig10(t *Table) string {
+	byAlgo := map[string]*viz.Series{}
+	var order []string
+	for i := range t.Rows {
+		algo := t.cellAt(i, "algorithm")
+		x, ok1 := parseF(t.cellAt(i, "t_minutes"))
+		y, ok2 := parseF(t.cellAt(i, "avg_delay"))
+		if !ok1 || !ok2 {
+			continue
+		}
+		s, ok := byAlgo[algo]
+		if !ok {
+			s = &viz.Series{Name: algo}
+			byAlgo[algo] = s
+			order = append(order, algo)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	series := make([]viz.Series, 0, len(order))
+	for _, a := range order {
+		series = append(series, *byAlgo[a])
+	}
+	return viz.LineChart("Fig. 10 — average delay over the mobility trace", "minutes", "avg delay (s)", series, false)
+}
+
+// LoadCSV reads a table previously written by WriteCSV. The table's ID is
+// the file's base name without extension; the title is left empty (charts
+// carry their own titles).
+func LoadCSV(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading %s: %w", path, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("experiments: %s is empty", path)
+	}
+	id := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	t := &Table{ID: id, Header: records[0]}
+	for _, row := range records[1:] {
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Replot loads every CSV in dir and renders SVGs for the chartable ones
+// into svgDir, returning the number of charts written.
+func Replot(dir, svgDir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var tables []*Table
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".csv" {
+			continue
+		}
+		t, err := LoadCSV(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return 0, err
+		}
+		tables = append(tables, t)
+	}
+	n := 0
+	for _, t := range tables {
+		if _, ok := Chart(t); ok {
+			n++
+		}
+	}
+	if err := WriteSVGs(svgDir, tables...); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func shortOpts() Options {
+	return Options{Short: true, Seed: 1, OptTimeLimit: 2 * time.Second}
+}
+
+func cell(t *Table, row int, col string) string {
+	for i, h := range t.Header {
+		if h == col {
+			return t.Rows[row][i]
+		}
+	}
+	return ""
+}
+
+func cellF(tst *testing.T, t *Table, row int, col string) float64 {
+	tst.Helper()
+	v, err := strconv.ParseFloat(cell(t, row, col), 64)
+	if err != nil {
+		tst.Fatalf("cell (%d,%s) = %q not a float", row, col, cell(t, row, col))
+	}
+	return v
+}
+
+func TestFig2ShortShape(t *testing.T) {
+	tb := Fig2(shortOpts())
+	if len(tb.Rows) != 6 { // 2 node scales × 3 user scales
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Runtime must be non-decreasing overall trend: the largest scale takes
+	// at least as long as the smallest.
+	first := cellF(t, tb, 0, "runtime_s")
+	last := cellF(t, tb, len(tb.Rows)-1, "runtime_s")
+	if last < first*0.5 {
+		t.Fatalf("no runtime growth: first=%v last=%v", first, last)
+	}
+}
+
+func TestFig3Short(t *testing.T) {
+	a, b := Fig3(shortOpts())
+	if len(a.Rows) != 5*4/2 { // C(5,2) pairs
+		t.Fatalf("fig3a rows = %d", len(a.Rows))
+	}
+	for i := range a.Rows {
+		v := cellF(t, a, i, "cosine_similarity")
+		if v < 0 || v > 1.000001 {
+			t.Fatalf("similarity out of range: %v", v)
+		}
+	}
+	var maxSim float64
+	for i := range b.Rows {
+		if cell(b, i, "metric") == "max_similarity" {
+			maxSim = cellF(t, b, i, "value")
+		}
+	}
+	if maxSim <= 0.2 || maxSim > 0.9 {
+		t.Fatalf("fig3b max similarity %v outside the diverse-chain band", maxSim)
+	}
+}
+
+func TestFig4Short(t *testing.T) {
+	tb := Fig4(shortOpts())
+	if len(tb.Rows) < 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "peak_to_mean" {
+		t.Fatalf("missing summary row: %v", last)
+	}
+	ratio, err := strconv.ParseFloat(last[1], 64)
+	if err != nil || ratio < 1.2 {
+		t.Fatalf("peak_to_mean = %v (err %v); peaks not visible", last[1], err)
+	}
+}
+
+func TestFig7ShortShape(t *testing.T) {
+	users, nodes := Fig7(shortOpts())
+	if len(users.Rows) != 3 || len(nodes.Rows) != 2 {
+		t.Fatalf("rows = %d/%d", len(users.Rows), len(nodes.Rows))
+	}
+	for _, tb := range []*Table{users, nodes} {
+		for i := range tb.Rows {
+			optObj := cellF(t, tb, i, "opt_obj")
+			soclObj := cellF(t, tb, i, "socl_obj")
+			if optObj <= 0 || soclObj <= 0 {
+				t.Fatalf("non-positive objective row %d", i)
+			}
+			// SoCL must stay within 25% of the (possibly capped) OPT value
+			// at these small scales; the paper reports gaps below 10%.
+			if soclObj > optObj*1.25 {
+				t.Fatalf("SoCL gap too large: %v vs %v", soclObj, optObj)
+			}
+			// SoCL runtime should beat OPT runtime at every scale here.
+			if cellF(t, tb, i, "socl_runtime_s") > cellF(t, tb, i, "opt_runtime_s")*2+0.01 {
+				t.Fatalf("SoCL slower than OPT in row %d", i)
+			}
+		}
+	}
+}
+
+func TestFig8ShortShape(t *testing.T) {
+	tb := Fig8(shortOpts())
+	if len(tb.Rows) != 2*4 { // 2 user scales × 4 algorithms
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Within each user scale: SoCL ≤ RP on objective.
+	byScale := map[string]map[string]float64{}
+	for i := range tb.Rows {
+		u := cell(tb, i, "users")
+		if byScale[u] == nil {
+			byScale[u] = map[string]float64{}
+		}
+		byScale[u][cell(tb, i, "algorithm")] = cellF(t, tb, i, "objective")
+	}
+	for u, objs := range byScale {
+		if objs["SoCL"] > objs["RP"] {
+			t.Fatalf("scale %s: SoCL (%v) worse than RP (%v)", u, objs["SoCL"], objs["RP"])
+		}
+		if objs["SoCL"] > objs["JDR"] {
+			t.Fatalf("scale %s: SoCL (%v) worse than JDR (%v)", u, objs["SoCL"], objs["JDR"])
+		}
+	}
+}
+
+func TestFig9Short(t *testing.T) {
+	tb := Fig9(shortOpts())
+	if len(tb.Rows) != 3 { // 1 user scale × 3 algorithms
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	objs := map[string]float64{}
+	for i := range tb.Rows {
+		objs[cell(tb, i, "algorithm")] = cellF(t, tb, i, "objective_sum")
+		if cellF(t, tb, i, "max_delay") < cellF(t, tb, i, "mean_delay") {
+			t.Fatal("max < mean delay")
+		}
+	}
+	if objs["SoCL"] > objs["RP"] {
+		t.Fatalf("SoCL objective %v worse than RP %v on the testbed", objs["SoCL"], objs["RP"])
+	}
+}
+
+func TestFig10Short(t *testing.T) {
+	series, summary := Fig10(shortOpts())
+	if len(series.Rows) == 0 || len(summary.Rows) != 3 {
+		t.Fatalf("rows = %d/%d", len(series.Rows), len(summary.Rows))
+	}
+	means := map[string]float64{}
+	for i := range summary.Rows {
+		means[cell(summary, i, "algorithm")] = cellF(t, summary, i, "mean_delay")
+	}
+	// SoCL achieves the lowest mean delay on the mobility trace (paper's
+	// headline Fig. 10 finding). Allow small tolerance for short mode.
+	if means["SoCL"] > means["JDR"]*1.1 {
+		t.Fatalf("SoCL mean delay %v not clearly below JDR %v", means["SoCL"], means["JDR"])
+	}
+}
+
+func TestTablePrintAndCSV(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Header: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "1") {
+		t.Fatalf("print output: %q", out)
+	}
+	dir := t.TempDir()
+	if err := tb.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "a,b") {
+		t.Fatalf("csv content: %q", data)
+	}
+}
+
+func TestEmitWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	opts := shortOpts()
+	opts.OutDir = dir
+	tb := &Table{ID: "y", Title: "demo", Header: []string{"c"}}
+	tb.AddRow("3")
+	var buf bytes.Buffer
+	if err := Emit(&buf, opts, tb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "y.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartsRenderForKnownTables(t *testing.T) {
+	opts := shortOpts()
+	fig2 := Fig2(opts)
+	fig4 := Fig4(opts)
+	users, nodes := Fig7(opts)
+	fig8 := Fig8(opts)
+	series, _ := Fig10(opts)
+	for _, tb := range []*Table{fig2, fig4, users, nodes, fig8, series} {
+		svg, ok := Chart(tb)
+		if !ok {
+			t.Fatalf("%s: no chart mapping", tb.ID)
+		}
+		if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Fatalf("%s: malformed svg", tb.ID)
+		}
+	}
+	if _, ok := Chart(&Table{ID: "unknown"}); ok {
+		t.Fatal("unknown table got a chart")
+	}
+}
+
+func TestWriteSVGs(t *testing.T) {
+	dir := t.TempDir()
+	tb := Fig4(shortOpts())
+	if err := WriteSVGs(dir, tb, &Table{ID: "unmapped"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4.svg")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "unmapped.svg")); err == nil {
+		t.Fatal("unmapped table rendered")
+	}
+}
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tb := Fig4(shortOpts())
+	if err := tb.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(filepath.Join(dir, "fig4.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "fig4" || len(got.Rows) != len(tb.Rows) {
+		t.Fatalf("round trip: id=%s rows=%d want %d", got.ID, len(got.Rows), len(tb.Rows))
+	}
+	if _, ok := Chart(got); !ok {
+		t.Fatal("loaded table not chartable")
+	}
+}
+
+func TestReplot(t *testing.T) {
+	dir := t.TempDir()
+	tb := Fig4(shortOpts())
+	if err := tb.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	other := &Table{ID: "notchartable", Header: []string{"a"}}
+	other.AddRow("1")
+	if err := other.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Replot(dir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replotted %d charts, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4.svg")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/combine"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/opt"
+	"repro/internal/partition"
+	"repro/internal/preprov"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ExtBudget sweeps the cost constraint over the paper's stated range
+// (5000–8000) at fixed scale, reporting every algorithm's objective, cost
+// and latency — the budget dimension Section V-A mentions but no figure
+// isolates.
+func ExtBudget(opts Options) *Table {
+	budgets := []float64{5800, 6400, 7000, 7600, 8200}
+	users, nodes := 80, 10
+	if opts.Short {
+		budgets = []float64{6400, 8200}
+		users, nodes = 20, 8
+	}
+	t := &Table{
+		ID:     "ext_budget",
+		Title:  "Objective vs deployment budget (paper range 5000–8000)",
+		Header: []string{"budget", "algorithm", "objective", "cost", "latency_sum", "budget_met"},
+	}
+	for _, b := range budgets {
+		in := buildInstance(nodes, users, b, opts.Seed)
+		// The lowest budgets sit below one-instance-per-service; the cloud
+		// fallback keeps those rows comparable (uncovered services serve
+		// from the cloud at WAN latency instead of scoring +Inf).
+		cloud := model.DefaultCloudConfig()
+		in.Cloud = &cloud
+		for _, algo := range fig8Algorithms(opts) {
+			p, err := algo.place(in)
+			if err != nil {
+				panic(err)
+			}
+			ev := in.Evaluate(p)
+			met := "yes"
+			if ev.OverBudget {
+				met = "no"
+			}
+			t.AddRow(f1(b), algo.name, f1(ev.Objective), f1(ev.Cost), f1(ev.LatencySum), met)
+		}
+	}
+	return t
+}
+
+// ExtLambda sweeps the objective weight λ, showing the cost/latency trade
+// each algorithm strikes — the knob Definition 1 introduces.
+func ExtLambda(opts Options) *Table {
+	// The sweep reaches down to λ where the per-instance cost λ·κ drops
+	// below typical latency losses ζ, so the latency-leaning regime (more
+	// instances, lower latency) is visible — at moderate λ the combine
+	// always trims to minimal coverage (cost dominates at these scales).
+	lambdas := []float64{0.001, 0.01, 0.1, 0.5, 0.9}
+	users, nodes := 60, 10
+	if opts.Short {
+		lambdas = []float64{0.002, 0.8}
+		users, nodes = 15, 8
+	}
+	t := &Table{
+		ID:     "ext_lambda",
+		Title:  "Cost/latency trade-off vs λ (SoCL)",
+		Header: []string{"lambda", "objective", "cost", "latency_sum", "instances"},
+	}
+	for _, l := range lambdas {
+		in := buildInstance(nodes, users, 8000, opts.Seed)
+		in.Lambda = l
+		sol, err := core.Solve(in, core.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		ev := sol.Evaluation
+		t.AddRow(f3(l), f1(ev.Objective), f1(ev.Cost), f1(ev.LatencySum), itoa(sol.Placement.Instances()))
+	}
+	return t
+}
+
+// ExtOmega is the ω ablation (DESIGN.md §5): how the parallel-combination
+// fraction trades solution quality against combination rounds.
+func ExtOmega(opts Options) *Table {
+	omegas := []float64{0.05, 0.15, 0.25, 0.5, 0.9}
+	users, nodes := 80, 12
+	if opts.Short {
+		omegas = []float64{0.1, 0.9}
+		users, nodes = 20, 8
+	}
+	t := &Table{
+		ID:     "ext_omega",
+		Title:  "Ablation: parallel-combination fraction ω",
+		Header: []string{"omega", "objective", "parallel_rounds", "serial_rounds", "combined", "runtime_s"},
+	}
+	for _, om := range omegas {
+		in := buildInstance(nodes, users, 8000, opts.Seed)
+		part := partition.Build(in, partition.DefaultConfig())
+		pre := preprov.Run(in, part)
+		cfg := combine.DefaultConfig()
+		cfg.Omega = om
+		t0 := time.Now()
+		res := combine.Run(in, part, pre.Placement, cfg)
+		el := time.Since(t0)
+		ev := in.Evaluate(res.Placement)
+		t.AddRow(f3(om), f1(ev.Objective), itoa(res.ParallelRounds), itoa(res.SerialRounds),
+			itoa(res.Combined), sec(el))
+	}
+	return t
+}
+
+// ExtXi is the ξ ablation: the virtual-link threshold's effect on group
+// counts and final objective.
+func ExtXi(opts Options) *Table {
+	quantiles := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	users, nodes := 80, 12
+	if opts.Short {
+		quantiles = []float64{0.2, 0.8}
+		users, nodes = 20, 8
+	}
+	t := &Table{
+		ID:     "ext_xi",
+		Title:  "Ablation: partition threshold ξ (as a virtual-link speed quantile)",
+		Header: []string{"xi_quantile", "avg_groups_per_service", "objective"},
+	}
+	for _, q := range quantiles {
+		in := buildInstance(nodes, users, 8000, opts.Seed)
+		cfg := core.DefaultConfig()
+		cfg.Partition = partition.Config{Xi: 0, XiQuantile: q}
+		sol, err := core.Solve(in, cfg)
+		if err != nil {
+			panic(err)
+		}
+		groups, services := 0, 0
+		for _, sp := range sol.Partition.ByService {
+			groups += len(sp.Groups)
+			services++
+		}
+		avg := 0.0
+		if services > 0 {
+			avg = float64(groups) / float64(services)
+		}
+		t.AddRow(f3(q), f3(avg), f1(sol.Evaluation.Objective))
+	}
+	return t
+}
+
+// ExtRouting isolates the routing contribution: the same placements scored
+// under optimal DP routing vs greedy nearest-instance vs random routing.
+func ExtRouting(opts Options) *Table {
+	users, nodes := 80, 12
+	if opts.Short {
+		users, nodes = 20, 8
+	}
+	t := &Table{
+		ID:     "ext_routing",
+		Title:  "Ablation: routing policy on fixed placements",
+		Header: []string{"placement", "routing", "latency_sum", "objective"},
+	}
+	in := buildInstance(nodes, users, 8000, opts.Seed)
+	placements := map[string]model.Placement{
+		"JDR": baselines.JDR(in),
+	}
+	if sol, err := core.Solve(in, core.DefaultConfig()); err == nil {
+		placements["SoCL"] = sol.Placement
+	}
+	for _, name := range []string{"SoCL", "JDR"} {
+		p, ok := placements[name]
+		if !ok {
+			continue
+		}
+		for _, mode := range []model.RoutingMode{model.RouteModeOptimal, model.RouteModeGreedy, model.RouteModeRandom} {
+			ev := in.EvaluateRouted(p, mode, opts.Seed)
+			t.AddRow(name, mode.String(), f1(ev.LatencySum), f1(ev.Objective))
+		}
+	}
+	return t
+}
+
+// ExtOnline compares one-shot SoCL (re-solve from scratch each slot) with
+// the warm-started online solver over a mobility trace: objective parity at
+// much lower placement churn (container cold-starts).
+func ExtOnline(opts Options) *Table {
+	nodes, users := 12, 30
+	duration := 120.0
+	if opts.Short {
+		nodes, users = 8, 10
+		duration = 30
+	}
+	g := topology.RandomGeometric(nodes, 0.35, topology.DefaultGenConfig(), opts.Seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), opts.Seed)
+
+	t := &Table{
+		ID:     "ext_online",
+		Title:  "One-shot vs warm-started online SoCL over a mobility trace",
+		Header: []string{"mode", "mean_delay", "objective_sum", "churn"},
+	}
+
+	// One-shot: stateless SoCL; churn measured between consecutive slots.
+	cfg := sim.DefaultConfig(g, cat, users, opts.Seed)
+	cfg.DurationMinutes = duration
+	oneShot, err := sim.Run(cfg, sim.SoCL{Config: core.DefaultConfig()})
+	if err != nil {
+		panic(err)
+	}
+	objSum := 0.0
+	for _, s := range oneShot.Slots {
+		objSum += s.Objective
+	}
+	// Churn for the one-shot mode is recomputed by replaying the decision
+	// sequence through a resetting online solver.
+	churnCold := replayChurn(g, cat, users, duration, opts.Seed, true)
+	t.AddRow("one-shot", f3(oneShot.MeanDelay()), f1(objSum), itoa(churnCold))
+
+	cfg2 := sim.DefaultConfig(g, cat, users, opts.Seed)
+	cfg2.DurationMinutes = duration
+	onlineAlgo := sim.NewSoCLOnline(core.DefaultConfig())
+	online, err := sim.Run(cfg2, onlineAlgo)
+	if err != nil {
+		panic(err)
+	}
+	objSum2 := 0.0
+	for _, s := range online.Slots {
+		objSum2 += s.Objective
+	}
+	t.AddRow("online-warm", f3(online.MeanDelay()), f1(objSum2), itoa(onlineAlgo.Churn))
+	return t
+}
+
+// replayChurn measures placement churn of from-scratch solving by running
+// the same simulation with an online solver that is reset (cold) or kept
+// (warm) between slots.
+func replayChurn(g *topology.Graph, cat *msvc.Catalog, users int, duration float64, seed int64, cold bool) int {
+	adapter := &churnAdapter{solver: core.NewOnlineSolver(core.DefaultConfig()), cold: cold}
+	cfg := sim.DefaultConfig(g, cat, users, seed)
+	cfg.DurationMinutes = duration
+	if _, err := sim.Run(cfg, adapter); err != nil {
+		panic(err)
+	}
+	return adapter.churn
+}
+
+type churnAdapter struct {
+	solver *core.OnlineSolver
+	cold   bool
+	slots  int
+	churn  int
+	prev   model.Placement
+}
+
+func (*churnAdapter) Name() string               { return "churn-probe" }
+func (*churnAdapter) Routing() model.RoutingMode { return model.RouteModeOptimal }
+func (c *churnAdapter) Place(in *model.Instance) (model.Placement, error) {
+	if c.cold {
+		c.solver.Reset()
+	}
+	sol, _, err := c.solver.Step(in)
+	if err != nil {
+		return model.Placement{}, err
+	}
+	if c.slots > 0 {
+		a, r := model.PlacementDiff(c.prev, sol.Placement)
+		c.churn += a + r
+	}
+	c.prev = sol.Placement.Clone()
+	c.slots++
+	return sol.Placement, nil
+}
+
+// ExtDecompose cross-validates the decomposition exact solver against
+// branch-and-bound and shows its speed at scales where B&B caps out.
+func ExtDecompose(opts Options) *Table {
+	scales := []struct{ v, u int }{{6, 10}, {10, 20}, {12, 40}, {15, 60}}
+	if opts.Short {
+		scales = scales[:2]
+	}
+	limit := opts.optLimit()
+	t := &Table{
+		ID:     "ext_decompose",
+		Title:  "Decomposition exact solver vs branch-and-bound (storage-rich instances)",
+		Header: []string{"nodes", "users", "decomp_obj", "decomp_s", "bb_obj", "bb_s", "bb_status", "applicable"},
+	}
+	for _, sc := range scales {
+		in := storageRichInstance(sc.v, sc.u, opts.Seed)
+		dec, err := opt.SolveDecomposed(in, opt.Options{TimeLimit: limit})
+		if err != nil {
+			panic(err)
+		}
+		bb, err := opt.Solve(in, opt.Options{TimeLimit: limit})
+		if err != nil {
+			panic(err)
+		}
+		status := bb.Status.String()
+		if bb.Status != opt.Optimal {
+			status += " (cap)"
+		}
+		appl := "yes"
+		if !dec.Applicable {
+			appl = "no"
+		}
+		t.AddRow(itoa(sc.v), itoa(sc.u), f1(dec.StarObjective), sec(dec.Elapsed),
+			f1(bb.StarObjective), sec(bb.Elapsed), status, appl)
+	}
+	return t
+}
+
+// storageRichInstance relaxes storage so the decomposition always applies.
+func storageRichInstance(nodes, users int, seed int64) *model.Instance {
+	gcfg := topology.DefaultGenConfig()
+	gcfg.StorageMin, gcfg.StorageMax = 100, 200
+	g := topology.RandomGeometric(nodes, 0.35, gcfg, seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	cfg := msvc.DefaultWorkloadConfig(users)
+	cfg.DeadlineSlack = 0
+	w, err := msvc.GenerateWorkload(cat, g, cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 8000}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtBudgetShort(t *testing.T) {
+	tb := ExtBudget(shortOpts())
+	if len(tb.Rows) != 2*4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		budget := cellF(t, tb, i, "budget")
+		cost := cellF(t, tb, i, "cost")
+		met := cell(tb, i, "budget_met")
+		if met == "yes" && cost > budget+1e-6 {
+			t.Fatalf("row %d: cost %v over budget %v but marked met", i, cost, budget)
+		}
+	}
+}
+
+func TestExtLambdaShortTradeoff(t *testing.T) {
+	tb := ExtLambda(shortOpts())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Higher λ weights cost more: the high-λ row's cost must not exceed
+	// the low-λ row's cost (SoCL trims harder when cost dominates).
+	lowCost := cellF(t, tb, 0, "cost")
+	highCost := cellF(t, tb, 1, "cost")
+	if highCost > lowCost+1e-6 {
+		t.Fatalf("cost did not shrink with λ: %v → %v", lowCost, highCost)
+	}
+}
+
+func TestExtOmegaShort(t *testing.T) {
+	tb := ExtOmega(shortOpts())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Larger ω → no more parallel rounds than smaller ω.
+	small := cellF(t, tb, 0, "parallel_rounds")
+	big := cellF(t, tb, 1, "parallel_rounds")
+	if big > small {
+		t.Fatalf("parallel rounds grew with ω: %v → %v", small, big)
+	}
+}
+
+func TestExtXiShort(t *testing.T) {
+	tb := ExtXi(shortOpts())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Higher ξ quantile → at least as many groups per service.
+	low := cellF(t, tb, 0, "avg_groups_per_service")
+	high := cellF(t, tb, 1, "avg_groups_per_service")
+	if high < low-1e-9 {
+		t.Fatalf("groups shrank with ξ: %v → %v", low, high)
+	}
+}
+
+func TestExtRoutingShort(t *testing.T) {
+	tb := ExtRouting(shortOpts())
+	if len(tb.Rows) != 6 { // 2 placements × 3 modes
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// For every placement: optimal ≤ greedy ≤ random latency.
+	lat := map[string]map[string]float64{}
+	for i := range tb.Rows {
+		p, m := cell(tb, i, "placement"), cell(tb, i, "routing")
+		if lat[p] == nil {
+			lat[p] = map[string]float64{}
+		}
+		v, err := strconv.ParseFloat(cell(tb, i, "latency_sum"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[p][m] = v
+	}
+	for p, m := range lat {
+		if m["optimal"] > m["greedy"]+1e-6 {
+			t.Fatalf("%s: optimal %v worse than greedy %v", p, m["optimal"], m["greedy"])
+		}
+		if m["optimal"] > m["random"]+1e-6 {
+			t.Fatalf("%s: optimal %v worse than random %v", p, m["optimal"], m["random"])
+		}
+	}
+}
+
+func TestExtOnlineShort(t *testing.T) {
+	tb := ExtOnline(shortOpts())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	churnCold := cellF(t, tb, 0, "churn")
+	churnWarm := cellF(t, tb, 1, "churn")
+	if churnWarm > churnCold {
+		t.Fatalf("warm churn %v exceeds cold churn %v", churnWarm, churnCold)
+	}
+}
+
+func TestExtDecomposeShort(t *testing.T) {
+	tb := ExtDecompose(shortOpts())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if cell(tb, i, "applicable") != "yes" {
+			t.Fatalf("row %d: decomposition inapplicable on storage-rich instance", i)
+		}
+		// When B&B proved optimality, objectives must match.
+		if cell(tb, i, "bb_status") == "optimal" {
+			d := cellF(t, tb, i, "decomp_obj")
+			b := cellF(t, tb, i, "bb_obj")
+			if d > b+1e-4 || d < b-1e-4 {
+				t.Fatalf("row %d: decomp %v != bb %v", i, d, b)
+			}
+		}
+	}
+}
+
+func TestExtContentionShort(t *testing.T) {
+	tb := ExtContention(shortOpts())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		idle := cellF(t, tb, i, "latency_idle")
+		cont := cellF(t, tb, i, "latency_contended")
+		if cont < idle-1e-6 {
+			t.Fatalf("row %d: contention reduced latency (%v → %v)", i, idle, cont)
+		}
+	}
+}
+
+func TestExtCloudShort(t *testing.T) {
+	tb := ExtCloud(shortOpts())
+	if len(tb.Rows) != 4 { // 2 budgets × 2 algorithms
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if cell(tb, i, "missing") != "0" {
+			t.Fatalf("row %d: missing instances despite cloud fallback", i)
+		}
+	}
+	// Tight budget rows (budget 3000 < one instance per service) must show
+	// cloud offloading for at least one algorithm.
+	cloudUsed := false
+	for i := range tb.Rows {
+		if cell(tb, i, "budget") == "3000.0" && cellF(t, tb, i, "cloud_served") > 0 {
+			cloudUsed = true
+		}
+	}
+	if !cloudUsed {
+		t.Fatal("no cloud offloading under a hopeless budget")
+	}
+}
+
+func TestExtClusterShort(t *testing.T) {
+	tb := ExtCluster(shortOpts())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	cold := map[string]float64{}
+	for i := range tb.Rows {
+		if cellF(t, tb, i, "completed") <= 0 {
+			t.Fatalf("row %d completed nothing", i)
+		}
+		cold[cell(tb, i, "algorithm")] = cellF(t, tb, i, "cold_starts")
+	}
+	if cold["SoCL-online"] > cold["SoCL"] {
+		t.Fatalf("online cold starts %v exceed one-shot %v", cold["SoCL-online"], cold["SoCL"])
+	}
+}
+
+func TestExtDatasetsShort(t *testing.T) {
+	tb := ExtDatasets(shortOpts())
+	if len(tb.Rows) != 4*4 { // 4 datasets × 4 algorithms
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// SoCL never worse than RP on any dataset.
+	objs := map[string]map[string]float64{}
+	for i := range tb.Rows {
+		d := cell(tb, i, "dataset")
+		if objs[d] == nil {
+			objs[d] = map[string]float64{}
+		}
+		objs[d][cell(tb, i, "algorithm")] = cellF(t, tb, i, "objective")
+	}
+	for d, m := range objs {
+		if m["SoCL"] > m["RP"] {
+			t.Fatalf("%s: SoCL %v worse than RP %v", d, m["SoCL"], m["RP"])
+		}
+	}
+}

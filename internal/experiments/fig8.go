@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Fig8 reproduces Figure 8 (a)–(d): the weighted objective (cost & latency)
+// of RP, JDR, GC-OG and SoCL over growing user scales at 10 edge servers.
+// The paper's shape — SoCL lowest at every scale, GC-OG second but slow,
+// JDR inflated by redundancy, RP worst and degrading fastest — is what this
+// driver regenerates, together with each algorithm's decision runtime.
+func Fig8(opts Options) *Table {
+	userScales := []int{80, 120, 160, 200}
+	nodes := 10
+	if opts.Short {
+		userScales = []int{20, 40}
+		nodes = 8
+	}
+	t := &Table{
+		ID:    "fig8",
+		Title: "Objective (cost & latency) vs user scale, 10 servers",
+		Header: []string{"users", "algorithm", "objective", "cost", "latency_sum",
+			"runtime_s", "instances"},
+	}
+	for _, u := range userScales {
+		in := buildInstance(nodes, u, 8000, opts.Seed)
+		for _, algo := range fig8Algorithms(opts) {
+			t0 := time.Now()
+			p, err := algo.place(in)
+			el := time.Since(t0)
+			if err != nil {
+				panic(err)
+			}
+			ev := in.Evaluate(p)
+			t.AddRow(itoa(u), algo.name, f1(ev.Objective), f1(ev.Cost),
+				f1(ev.LatencySum), sec(el), itoa(p.Instances()))
+		}
+	}
+	return t
+}
+
+type namedAlgo struct {
+	name  string
+	place func(*model.Instance) (model.Placement, error)
+}
+
+func fig8Algorithms(opts Options) []namedAlgo {
+	return []namedAlgo{
+		{"RP", func(in *model.Instance) (model.Placement, error) {
+			return baselines.RP(in, opts.Seed), nil
+		}},
+		{"JDR", func(in *model.Instance) (model.Placement, error) {
+			return baselines.JDR(in), nil
+		}},
+		{"GC-OG", func(in *model.Instance) (model.Placement, error) {
+			return baselines.GCOG(in).Placement, nil
+		}},
+		{"SoCL", func(in *model.Instance) (model.Placement, error) {
+			sol, err := core.Solve(in, core.DefaultConfig())
+			if err != nil {
+				return model.Placement{}, err
+			}
+			return sol.Placement, nil
+		}},
+	}
+}

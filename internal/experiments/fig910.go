@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/msvc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Fig9 reproduces Figure 9: the small-scale testbed evaluation on 8 edge
+// nodes with 50 and 70 users — total objective, provisioning cost, and
+// completion time for RP, JDR and SoCL, plus the per-user median latency
+// the paper quotes (RP/JDR/SoCL medians 2.795/3.989/2.796 at 50 users).
+// The testbed is the time-slotted cluster simulator (DESIGN.md §2).
+func Fig9(opts Options) *Table {
+	userScales := []int{50, 70}
+	nodes, slots := 8, 6
+	if opts.Short {
+		userScales = []int{12}
+		slots = 3
+	}
+	t := &Table{
+		ID:    "fig9",
+		Title: "Testbed (simulated cluster), 8 edge nodes: objective, cost, delay",
+		Header: []string{"users", "algorithm", "objective_sum", "cost_sum",
+			"mean_delay", "median_user_delay", "max_delay"},
+	}
+	g := topology.RandomGeometric(nodes, 0.4, topology.DefaultGenConfig(), opts.Seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), opts.Seed)
+	for _, u := range userScales {
+		for _, algo := range fig910Algorithms(opts) {
+			cfg := sim.DefaultConfig(g, cat, u, opts.Seed)
+			cfg.DurationMinutes = float64(slots) * cfg.SlotMinutes
+			res, err := sim.Run(cfg, algo)
+			if err != nil {
+				panic(err)
+			}
+			objSum, costSum := 0.0, 0.0
+			for _, s := range res.Slots {
+				objSum += s.Objective
+				costSum += s.Cost
+			}
+			t.AddRow(itoa(u), res.Algorithm, f1(objSum), f1(costSum),
+				f3(res.MeanDelay()), f3(res.MedianDelay()), f3(res.MaxDelay()))
+		}
+	}
+	return t
+}
+
+// Fig10 reproduces Figure 10: the 4-hour mobility trace on 16 edge nodes
+// with 50 users issuing requests every ~5 minutes under stochastic
+// dependency chains — average delay per timestamp for RP, JDR and SoCL,
+// plus the per-algorithm maximum delay the paper uses as its stability
+// metric (SoCL 48.84 ms vs JDR 90.04 ms and RP 77.29 ms).
+func Fig10(opts Options) (*Table, *Table) {
+	nodes, users := 16, 50
+	duration := 240.0
+	if opts.Short {
+		nodes, users = 10, 12
+		duration = 30
+	}
+	g := topology.RandomGeometric(nodes, 0.3, topology.DefaultGenConfig(), opts.Seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), opts.Seed)
+
+	seriesT := &Table{
+		ID:     "fig10",
+		Title:  "Average delay per timestamp, 4-hour mobility trace, 16 edge nodes",
+		Header: []string{"t_minutes", "algorithm", "avg_delay", "max_delay", "requests"},
+	}
+	summaryT := &Table{
+		ID:     "fig10summary",
+		Title:  "Delay summary over the mobility trace",
+		Header: []string{"algorithm", "mean_delay", "p95_delay", "max_delay"},
+	}
+	for _, algo := range fig910Algorithms(opts) {
+		cfg := sim.DefaultConfig(g, cat, users, opts.Seed)
+		cfg.DurationMinutes = duration
+		res, err := sim.Run(cfg, algo)
+		if err != nil {
+			panic(err)
+		}
+		for _, s := range res.Slots {
+			seriesT.AddRow(f1(s.TimeMinutes), res.Algorithm, f3(s.AvgDelay),
+				f3(s.MaxDelay), itoa(s.Requests))
+		}
+		p95 := 0.0
+		if len(res.AllDelays) > 0 {
+			p95 = stats.Percentile(res.AllDelays, 95)
+		}
+		summaryT.AddRow(res.Algorithm, f3(res.MeanDelay()), f3(p95), f3(res.MaxDelay()))
+	}
+	return seriesT, summaryT
+}
+
+func fig910Algorithms(opts Options) []sim.Algorithm {
+	return []sim.Algorithm{
+		sim.RP{Seed: opts.Seed},
+		sim.JDR{},
+		sim.SoCL{Config: core.DefaultConfig()},
+	}
+}

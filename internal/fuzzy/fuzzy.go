@@ -1,0 +1,199 @@
+// Package fuzzy implements Fuzzy AHP (analytic hierarchy process) with
+// triangular fuzzy numbers and Chang's extent analysis, used by the SoCL
+// storage-planning stage (Algorithm 5) to weight the four instance-priority
+// criteria of Definition 9: deployment cost κ, storage footprint φ,
+// requesting-user count |𝕌|, and chain-order factor ℝ.
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Triangular is a triangular fuzzy number (L, M, U) with L ≤ M ≤ U.
+type Triangular struct {
+	L, M, U float64
+}
+
+// T constructs a triangular fuzzy number, panicking on malformed input
+// (construction sites are all static).
+func T(l, m, u float64) Triangular {
+	if !(l <= m && m <= u) {
+		panic(fmt.Sprintf("fuzzy: invalid triangular (%v,%v,%v)", l, m, u))
+	}
+	return Triangular{l, m, u}
+}
+
+// Linguistic scale for pairwise importance judgments (Saaty scale fuzzified
+// with spread 1). Reciprocal returns the fuzzy reciprocal for the mirrored
+// cell.
+var (
+	Equal          = T(1, 1, 1)
+	WeaklyMore     = T(1, 2, 3)
+	ModeratelyMore = T(2, 3, 4)
+	StronglyMore   = T(4, 5, 6)
+	ExtremelyMore  = T(6, 7, 8)
+)
+
+// Add returns a ⊕ b.
+func (a Triangular) Add(b Triangular) Triangular {
+	return Triangular{a.L + b.L, a.M + b.M, a.U + b.U}
+}
+
+// Mul returns a ⊗ b (approximate multiplication for positive TFNs).
+func (a Triangular) Mul(b Triangular) Triangular {
+	return Triangular{a.L * b.L, a.M * b.M, a.U * b.U}
+}
+
+// Reciprocal returns (1/U, 1/M, 1/L).
+func (a Triangular) Reciprocal() Triangular {
+	return Triangular{1 / a.U, 1 / a.M, 1 / a.L}
+}
+
+// Defuzzify returns the graded-mean value (L + 4M + U)/6.
+func (a Triangular) Defuzzify() float64 { return (a.L + 4*a.M + a.U) / 6 }
+
+// Possibility returns V(a ≥ b), the degree of possibility that a is greater
+// than or equal to b under Chang's extent analysis.
+func Possibility(a, b Triangular) float64 {
+	switch {
+	case a.M >= b.M:
+		return 1
+	case b.L >= a.U:
+		return 0
+	default:
+		return (b.L - a.U) / ((a.M - a.U) - (b.M - b.L))
+	}
+}
+
+// ExtentWeights computes crisp criteria weights from a fuzzy pairwise
+// comparison matrix via Chang's extent analysis. The matrix must be square
+// with unit diagonal. Weights are non-negative and sum to 1; when the
+// possibility degrees are all zero for some criterion the weights fall back
+// to defuzzified row sums (a standard degenerate-case repair).
+func ExtentWeights(matrix [][]Triangular) ([]float64, error) {
+	n := len(matrix)
+	if n == 0 {
+		return nil, fmt.Errorf("fuzzy: empty matrix")
+	}
+	for i, row := range matrix {
+		if len(row) != n {
+			return nil, fmt.Errorf("fuzzy: row %d has %d entries, want %d", i, len(row), n)
+		}
+		if row[i] != Equal {
+			return nil, fmt.Errorf("fuzzy: diagonal entry %d is not Equal", i)
+		}
+		for j, c := range row {
+			if c.L <= 0 || c.L > c.M || c.M > c.U {
+				return nil, fmt.Errorf("fuzzy: invalid entry (%d,%d): %+v", i, j, c)
+			}
+		}
+	}
+
+	// Row extents S_i = Σ_j a_ij ⊗ (Σ_i Σ_j a_ij)^{-1}.
+	rowSums := make([]Triangular, n)
+	grand := Triangular{}
+	for i := range matrix {
+		s := Triangular{}
+		for _, c := range matrix[i] {
+			s = s.Add(c)
+		}
+		rowSums[i] = s
+		grand = grand.Add(s)
+	}
+	inv := grand.Reciprocal()
+	extents := make([]Triangular, n)
+	for i := range extents {
+		extents[i] = rowSums[i].Mul(inv)
+	}
+
+	// d(A_i) = min_{j≠i} V(S_i ≥ S_j).
+	d := make([]float64, n)
+	for i := range extents {
+		m := math.Inf(1)
+		for j := range extents {
+			if j == i {
+				continue
+			}
+			if v := Possibility(extents[i], extents[j]); v < m {
+				m = v
+			}
+		}
+		if n == 1 {
+			m = 1
+		}
+		d[i] = m
+	}
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if sum <= 1e-12 {
+		// Degenerate: fall back to defuzzified extents.
+		for i := range d {
+			d[i] = extents[i].Defuzzify()
+			sum += d[i]
+		}
+	}
+	for i := range d {
+		d[i] /= sum
+	}
+	return d, nil
+}
+
+// ReciprocalMatrix builds a full fuzzy comparison matrix from the strict
+// upper triangle: upper[i][j-i-1] compares criterion i to criterion j
+// (i < j). Lower cells are filled with reciprocals; the diagonal is Equal.
+func ReciprocalMatrix(upper [][]Triangular) ([][]Triangular, error) {
+	n := len(upper) + 1
+	for i, row := range upper {
+		if len(row) != n-1-i {
+			return nil, fmt.Errorf("fuzzy: upper row %d has %d entries, want %d", i, len(row), n-1-i)
+		}
+	}
+	m := make([][]Triangular, n)
+	for i := range m {
+		m[i] = make([]Triangular, n)
+		m[i][i] = Equal
+	}
+	for i := 0; i < n-1; i++ {
+		for off, c := range upper[i] {
+			j := i + 1 + off
+			m[i][j] = c
+			m[j][i] = c.Reciprocal()
+		}
+	}
+	return m, nil
+}
+
+// SoCLCriteria indexes the four storage-planning criteria.
+const (
+	CritUsers   = iota // |𝕌_{v_k}^{m_i}|: requesting users
+	CritOrder          // ℝ: chain-order factor
+	CritCost           // κ: deployment cost
+	CritStorage        // φ: storage footprint
+	NumCriteria
+)
+
+// SoCLWeights returns the criteria weights for the local demand factor ρ
+// (Definition 9) from the paper-aligned judgment matrix: user demand
+// dominates, chain position matters moderately, cost weakly, storage least.
+func SoCLWeights() []float64 {
+	upper := [][]Triangular{
+		// users vs: order, cost, storage
+		{WeaklyMore, ModeratelyMore, StronglyMore},
+		// order vs: cost, storage
+		{WeaklyMore, ModeratelyMore},
+		// cost vs: storage
+		{WeaklyMore},
+	}
+	m, err := ReciprocalMatrix(upper)
+	if err != nil {
+		panic(err) // static input
+	}
+	w, err := ExtentWeights(m)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,224 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestTriangularOps(t *testing.T) {
+	a := T(1, 2, 3)
+	b := T(2, 3, 4)
+	if got := a.Add(b); got != (Triangular{3, 5, 7}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := a.Mul(b); got != (Triangular{2, 6, 12}) {
+		t.Fatalf("Mul = %+v", got)
+	}
+	r := b.Reciprocal()
+	if math.Abs(r.L-0.25) > 1e-12 || math.Abs(r.U-0.5) > 1e-12 {
+		t.Fatalf("Reciprocal = %+v", r)
+	}
+	if got := T(1, 2, 3).Defuzzify(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Defuzzify = %v", got)
+	}
+}
+
+func TestTInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("T(3,2,1) did not panic")
+		}
+	}()
+	T(3, 2, 1)
+}
+
+func TestPossibility(t *testing.T) {
+	if Possibility(T(1, 2, 3), T(1, 2, 3)) != 1 {
+		t.Fatal("identical TFNs should have possibility 1")
+	}
+	if Possibility(T(1, 2, 3), T(0, 1, 2)) != 1 {
+		t.Fatal("clearly larger should give 1")
+	}
+	if Possibility(T(0, 1, 2), T(3, 4, 5)) != 0 {
+		t.Fatal("disjoint lower should give 0")
+	}
+	// Partial overlap: a=(1,2,4), b=(3,4,5): V(a>=b) = (3-4)/((2-4)-(4-3)) = 1/3.
+	got := Possibility(T(1, 2, 4), T(3, 4, 5))
+	if math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Fatalf("partial possibility = %v, want 1/3", got)
+	}
+}
+
+func TestExtentWeightsIdentityMatrix(t *testing.T) {
+	// All-Equal matrix → uniform weights.
+	n := 4
+	m := make([][]Triangular, n)
+	for i := range m {
+		m[i] = make([]Triangular, n)
+		for j := range m[i] {
+			m[i][j] = Equal
+		}
+	}
+	w, err := ExtentWeights(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wi := range w {
+		if math.Abs(wi-0.25) > 1e-9 {
+			t.Fatalf("weights = %v, want uniform", w)
+		}
+	}
+}
+
+func TestExtentWeightsDominantCriterion(t *testing.T) {
+	upper := [][]Triangular{
+		{StronglyMore, StronglyMore},
+		{Equal},
+	}
+	m, err := ReciprocalMatrix(upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ExtentWeights(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] <= w[1] || w[0] <= w[2] {
+		t.Fatalf("dominant criterion not heaviest: %v", w)
+	}
+	sum := w[0] + w[1] + w[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestExtentWeightsErrors(t *testing.T) {
+	if _, err := ExtentWeights(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := ExtentWeights([][]Triangular{{Equal, Equal}}); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+	bad := [][]Triangular{{WeaklyMore}}
+	if _, err := ExtentWeights(bad); err == nil {
+		t.Fatal("non-Equal diagonal accepted")
+	}
+	zero := [][]Triangular{
+		{Equal, {0, 1, 2}},
+		{{0.5, 1, 2}, Equal},
+	}
+	if _, err := ExtentWeights(zero); err == nil {
+		t.Fatal("non-positive L accepted")
+	}
+}
+
+func TestReciprocalMatrixShape(t *testing.T) {
+	upper := [][]Triangular{
+		{WeaklyMore, ModeratelyMore},
+		{StronglyMore},
+	}
+	m, err := ReciprocalMatrix(upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatalf("size = %d", len(m))
+	}
+	// m[1][0] must be reciprocal of m[0][1].
+	want := WeaklyMore.Reciprocal()
+	if m[1][0] != want {
+		t.Fatalf("m[1][0] = %+v, want %+v", m[1][0], want)
+	}
+	if _, err := ReciprocalMatrix([][]Triangular{{Equal}, {Equal}}); err == nil {
+		t.Fatal("ragged upper triangle accepted")
+	}
+}
+
+func TestSoCLWeightsOrdering(t *testing.T) {
+	w := SoCLWeights()
+	if len(w) != NumCriteria {
+		t.Fatalf("weights = %v", w)
+	}
+	sum := 0.0
+	for _, wi := range w {
+		if wi < 0 {
+			t.Fatalf("negative weight in %v", w)
+		}
+		sum += wi
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	if !(w[CritUsers] >= w[CritOrder] && w[CritOrder] >= w[CritCost] && w[CritCost] >= w[CritStorage]) {
+		t.Fatalf("weight ordering violated: %v", w)
+	}
+}
+
+// Property: extent weights are a probability vector for any consistent
+// random reciprocal matrix built from the linguistic scale.
+func TestExtentWeightsProbabilityVectorProperty(t *testing.T) {
+	scale := []Triangular{Equal, WeaklyMore, ModeratelyMore, StronglyMore, ExtremelyMore}
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		n := 3 + r.Intn(3)
+		upper := make([][]Triangular, n-1)
+		for i := range upper {
+			upper[i] = make([]Triangular, n-1-i)
+			for j := range upper[i] {
+				c := scale[r.Intn(len(scale))]
+				if r.Float64() < 0.5 {
+					c = c.Reciprocal()
+					if c.L > c.M || c.M > c.U || c.L <= 0 {
+						return false
+					}
+				}
+				upper[i][j] = c
+			}
+		}
+		m, err := ReciprocalMatrix(upper)
+		if err != nil {
+			return false
+		}
+		w, err := ExtentWeights(m)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, wi := range w {
+			if wi < -1e-12 || math.IsNaN(wi) {
+				return false
+			}
+			sum += wi
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Possibility is within [0,1] and V(a≥b)=1 or V(b≥a)=1 (at least
+// one direction fully possible).
+func TestPossibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		mk := func() Triangular {
+			l := r.Float64() * 5
+			m := l + r.Float64()*3
+			u := m + r.Float64()*3
+			return T(l, m, u)
+		}
+		a, b := mk(), mk()
+		pab, pba := Possibility(a, b), Possibility(b, a)
+		if pab < 0 || pab > 1 || pba < 0 || pba > 1 {
+			return false
+		}
+		return pab == 1 || pba == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/model"
+)
+
+// BoundedMIP couples a bounded-variable LP with integrality markers.
+// Compared to MIP, binary variables live as [0,1] bounds instead of rows,
+// and branch-and-bound tightens bounds instead of appending constraints —
+// both the relaxations and the node setup are substantially cheaper.
+type BoundedMIP struct {
+	Prob    *lp.BoundedProblem
+	Integer []bool
+}
+
+// Validate checks structural sanity.
+func (m *BoundedMIP) Validate() error {
+	if m.Prob == nil {
+		return fmt.Errorf("ilp: nil problem")
+	}
+	if err := m.Prob.Validate(); err != nil {
+		return err
+	}
+	if len(m.Integer) != m.Prob.NumVars {
+		return fmt.Errorf("ilp: Integer length %d != NumVars %d", len(m.Integer), m.Prob.NumVars)
+	}
+	return nil
+}
+
+// SolveBounded runs branch and bound over the bounded-variable relaxation.
+// Semantics match Solve (same Options and Result).
+func SolveBounded(m *BoundedMIP, opt Options) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+
+	res := Result{Status: NoSolution, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	var incumbent []float64
+
+	type node struct {
+		lower, upper []float64
+		lpObj        float64
+	}
+	root := node{
+		lower: append([]float64(nil), m.Prob.Lower...),
+		upper: append([]float64(nil), m.Prob.Upper...),
+	}
+	stack := []node{root}
+	rootSolved := false
+	rootBound := math.Inf(-1)
+
+	for len(stack) > 0 {
+		if opt.MaxNodes > 0 && res.Nodes >= opt.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		if incumbent != nil && nd.lpObj >= res.Objective-1e-9 && rootSolved {
+			continue
+		}
+
+		p := m.Prob.Clone()
+		copy(p.Lower, nd.lower)
+		copy(p.Upper, nd.upper)
+		feasibleBounds := true
+		for j := range p.Lower {
+			if p.Lower[j] > p.Upper[j] {
+				feasibleBounds = false
+				break
+			}
+		}
+		if !feasibleBounds {
+			continue
+		}
+		sol, err := lp.SolveBounded(p)
+		if err != nil {
+			return Result{}, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			if !rootSolved {
+				return Result{Status: Infeasible, Nodes: res.Nodes, Elapsed: time.Since(start)}, nil
+			}
+			continue
+		case lp.Unbounded:
+			if !rootSolved {
+				return Result{}, fmt.Errorf("ilp: relaxation unbounded")
+			}
+			continue
+		case lp.IterLimit:
+			continue
+		}
+		if !rootSolved {
+			rootSolved = true
+			rootBound = sol.Objective
+		}
+		if incumbent != nil && sol.Objective >= res.Objective-1e-9 {
+			continue
+		}
+
+		branchVar, frac := -1, 0.0
+		for j := range m.Integer {
+			if !m.Integer[j] {
+				continue
+			}
+			f := sol.X[j] - math.Floor(sol.X[j])
+			d := math.Min(f, 1-f)
+			if d > intTol && d > frac {
+				frac, branchVar = d, j
+			}
+		}
+		if branchVar == -1 {
+			if sol.Objective < res.Objective {
+				res.Objective = sol.Objective
+				incumbent = append([]float64(nil), sol.X...)
+				if opt.Gap > 0 && gapOK(res.Objective, rootBound, opt.Gap) {
+					goto done
+				}
+			}
+			continue
+		}
+
+		fl := math.Floor(sol.X[branchVar])
+		up := node{
+			lower: append([]float64(nil), nd.lower...),
+			upper: append([]float64(nil), nd.upper...),
+			lpObj: sol.Objective,
+		}
+		up.lower[branchVar] = fl + 1
+		down := node{
+			lower: append([]float64(nil), nd.lower...),
+			upper: append([]float64(nil), nd.upper...),
+			lpObj: sol.Objective,
+		}
+		down.upper[branchVar] = fl
+		stack = append(stack, up, down)
+	}
+done:
+	res.Elapsed = time.Since(start)
+	res.Bound = rootBound
+	if incumbent == nil {
+		if len(stack) == 0 && rootSolved {
+			res.Status = Infeasible
+		}
+		return res, nil
+	}
+	res.X = incumbent
+	if len(stack) == 0 || (opt.Gap > 0 && gapOK(res.Objective, rootBound, opt.Gap)) {
+		res.Status = Optimal
+	} else {
+		res.Status = Feasible
+	}
+	return res, nil
+}
+
+// BuildSoCLBounded constructs the Definition-4 ILP with binaries as [0,1]
+// bounds — the same model as BuildSoCL with a much smaller tableau (no
+// explicit x ≤ 1 rows, no y ≤ 0 forbidden-pair rows: forbidden assignments
+// get a zero upper bound instead).
+func BuildSoCLBounded(in *model.Instance) (*BoundedMIP, *VarMap) {
+	M, V := in.M(), in.V()
+	reqs := in.Workload.Requests
+
+	vm := &VarMap{NumServices: M, NumNodes: V, YBase: make([]int, len(reqs))}
+	n := M * V
+	for h := range reqs {
+		vm.YBase[h] = n
+		n += len(reqs[h].Chain) * V
+	}
+	vm.Total = n
+
+	p := lp.NewBoundedProblem(n)
+	integer := make([]bool, n)
+	for j := range integer {
+		integer[j] = true
+		p.SetBounds(j, 0, 1)
+	}
+
+	for i := 0; i < M; i++ {
+		kappa := in.Workload.Catalog.Service(i).DeployCost
+		for k := 0; k < V; k++ {
+			p.SetObjective(vm.XIdx(i, k), in.Lambda*kappa)
+		}
+	}
+	for h := range reqs {
+		req := &reqs[h]
+		for t := range req.Chain {
+			for k := 0; k < V; k++ {
+				coef := in.StarCoef(req, t, k)
+				if math.IsInf(coef, 1) {
+					p.SetBounds(vm.YIdx(h, t, k), 0, 0) // unreachable pair
+					continue
+				}
+				p.SetObjective(vm.YIdx(h, t, k), (1-in.Lambda)*coef)
+			}
+		}
+	}
+
+	for h := range reqs {
+		req := &reqs[h]
+		for t, svc := range req.Chain {
+			row := make(map[int]float64, V)
+			for k := 0; k < V; k++ {
+				row[vm.YIdx(h, t, k)] = 1
+			}
+			p.AddConstraint(row, lp.EQ, 1)
+			for k := 0; k < V; k++ {
+				p.AddConstraint(map[int]float64{
+					vm.YIdx(h, t, k): 1,
+					vm.XIdx(svc, k):  -1,
+				}, lp.LE, 0)
+			}
+		}
+	}
+	for k := 0; k < V; k++ {
+		row := make(map[int]float64, M)
+		for i := 0; i < M; i++ {
+			row[vm.XIdx(i, k)] = in.Workload.Catalog.Service(i).Storage
+		}
+		p.AddConstraint(row, lp.LE, in.Graph.Node(k).Storage)
+	}
+	budgetRow := make(map[int]float64, M*V)
+	for i := 0; i < M; i++ {
+		kappa := in.Workload.Catalog.Service(i).DeployCost
+		for k := 0; k < V; k++ {
+			budgetRow[vm.XIdx(i, k)] = kappa
+		}
+	}
+	p.AddConstraint(budgetRow, lp.LE, in.Budget)
+	for h := range reqs {
+		req := &reqs[h]
+		if math.IsInf(req.Deadline, 1) {
+			continue
+		}
+		row := make(map[int]float64)
+		for t := range req.Chain {
+			for k := 0; k < V; k++ {
+				if c := in.StarCoef(req, t, k); !math.IsInf(c, 1) {
+					row[vm.YIdx(h, t, k)] = c
+				}
+			}
+		}
+		p.AddConstraint(row, lp.LE, req.Deadline)
+	}
+	return &BoundedMIP{Prob: p, Integer: integer}, vm
+}

@@ -1,0 +1,228 @@
+// Package ilp implements a generic mixed-integer linear programming solver:
+// branch and bound over the LP relaxation provided by package lp. Together
+// they form the "optimizer" substitute for Gurobi used by the paper's OPT
+// comparisons (see DESIGN.md): exact on small instances, exponential at
+// scale — which is precisely the behaviour Fig. 2 / Fig. 7 document.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// MIP couples an LP with integrality markers. Integer variables are assumed
+// binary-or-bounded via explicit constraints in the LP (the SoCL builder
+// adds x ≤ 1 rows); branching introduces the floor/ceil bounds.
+type MIP struct {
+	Prob    *lp.Problem
+	Integer []bool // len == Prob.NumVars
+}
+
+// Validate checks structural sanity.
+func (m *MIP) Validate() error {
+	if m.Prob == nil {
+		return fmt.Errorf("ilp: nil problem")
+	}
+	if err := m.Prob.Validate(); err != nil {
+		return err
+	}
+	if len(m.Integer) != m.Prob.NumVars {
+		return fmt.Errorf("ilp: Integer length %d != NumVars %d", len(m.Integer), m.Prob.NumVars)
+	}
+	return nil
+}
+
+// Options bounds the search.
+type Options struct {
+	TimeLimit time.Duration // 0 = unlimited
+	MaxNodes  int           // 0 = unlimited
+	// Gap: stop when (incumbent - bound)/max(|incumbent|,1) ≤ Gap.
+	Gap float64
+}
+
+// Status of a MIP solve.
+type Status int
+
+// Solve outcomes. Feasible means the search stopped early (time/node limit)
+// with an incumbent whose optimality is not proven.
+const (
+	Optimal Status = iota
+	Feasible
+	Infeasible
+	NoSolution // stopped early with no incumbent
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case NoSolution:
+		return "no-solution"
+	default:
+		return "?"
+	}
+}
+
+// Result of a MIP solve.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	Bound     float64 // proven lower bound on the optimum
+	Nodes     int     // branch-and-bound nodes explored
+	Elapsed   time.Duration
+}
+
+const intTol = 1e-6
+
+type bbNode struct {
+	// extra bounds accumulated along the branch: (var, isUpper, value)
+	bounds []branchBound
+	lpObj  float64 // parent LP bound, for ordering
+}
+
+type branchBound struct {
+	v     int
+	upper bool
+	val   float64
+}
+
+// Solve runs branch and bound. Depth-first with best-parent-bound
+// tie-breaking keeps memory linear in depth while finding incumbents early.
+func Solve(m *MIP, opt Options) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+
+	res := Result{Status: NoSolution, Objective: math.Inf(1), Bound: math.Inf(-1)}
+	var incumbent []float64
+
+	stack := []bbNode{{}}
+	rootSolved := false
+	rootBound := math.Inf(-1)
+
+	for len(stack) > 0 {
+		if opt.MaxNodes > 0 && res.Nodes >= opt.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		// Prune against incumbent using the parent bound before solving.
+		if incumbent != nil && node.lpObj >= res.Objective-1e-9 && len(node.bounds) > 0 {
+			continue
+		}
+
+		sol, err := solveNodeLP(m.Prob, node.bounds)
+		if err != nil {
+			return Result{}, err
+		}
+		if sol.Status == lp.Infeasible {
+			if !rootSolved {
+				rootSolved = true
+				res.Elapsed = time.Since(start)
+				return Result{Status: Infeasible, Nodes: res.Nodes, Elapsed: res.Elapsed}, nil
+			}
+			continue
+		}
+		if sol.Status == lp.Unbounded {
+			if !rootSolved {
+				return Result{}, fmt.Errorf("ilp: relaxation unbounded")
+			}
+			continue
+		}
+		if sol.Status == lp.IterLimit {
+			// Treat as unexplorable; conservative (keeps incumbent valid).
+			continue
+		}
+		if !rootSolved {
+			rootSolved = true
+			rootBound = sol.Objective
+		}
+		if incumbent != nil && sol.Objective >= res.Objective-1e-9 {
+			continue // bound prune
+		}
+
+		// Find most fractional integer variable.
+		branchVar, frac := -1, 0.0
+		for j := range m.Integer {
+			if !m.Integer[j] {
+				continue
+			}
+			f := sol.X[j] - math.Floor(sol.X[j])
+			d := math.Min(f, 1-f)
+			if d > intTol && d > frac {
+				frac, branchVar = d, j
+			}
+		}
+		if branchVar == -1 {
+			// Integer feasible.
+			if sol.Objective < res.Objective {
+				res.Objective = sol.Objective
+				incumbent = append([]float64(nil), sol.X...)
+				if opt.Gap > 0 && gapOK(res.Objective, rootBound, opt.Gap) {
+					break
+				}
+			}
+			continue
+		}
+
+		fl := math.Floor(sol.X[branchVar])
+		// Push the "up" child first so the "down" child (often cheaper for
+		// deployment variables) is explored first (LIFO).
+		up := append(append([]branchBound(nil), node.bounds...), branchBound{branchVar, false, fl + 1})
+		down := append(append([]branchBound(nil), node.bounds...), branchBound{branchVar, true, fl})
+		stack = append(stack, bbNode{bounds: up, lpObj: sol.Objective}, bbNode{bounds: down, lpObj: sol.Objective})
+	}
+
+	res.Elapsed = time.Since(start)
+	res.Bound = rootBound
+	if incumbent == nil {
+		if len(stack) == 0 && rootSolved {
+			res.Status = Infeasible // exhausted without integer point
+		}
+		return res, nil
+	}
+	res.X = incumbent
+	if len(stack) == 0 || (opt.Gap > 0 && gapOK(res.Objective, rootBound, opt.Gap)) {
+		res.Status = Optimal
+	} else {
+		res.Status = Feasible
+	}
+	return res, nil
+}
+
+func gapOK(incumbent, bound, gap float64) bool {
+	if math.IsInf(bound, -1) {
+		return false
+	}
+	return (incumbent-bound)/math.Max(math.Abs(incumbent), 1) <= gap
+}
+
+func solveNodeLP(base *lp.Problem, bounds []branchBound) (lp.Solution, error) {
+	p := base.Clone()
+	for _, b := range bounds {
+		rel := lp.GE
+		if b.upper {
+			rel = lp.LE
+		}
+		p.AddConstraint(map[int]float64{b.v: 1}, rel, b.val)
+	}
+	return lp.Solve(p)
+}

@@ -1,0 +1,186 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/msvc"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func TestCloudFallbackServesMissingServices(t *testing.T) {
+	in := tinyInstance(t)
+	in.Cloud = &CloudConfig{TransferCost: 0.5, Compute: 100}
+	p := NewPlacement(2, 4)
+	p.Set(0, 0, true) // service b (id 1) nowhere on the edge
+	ev := in.Evaluate(p)
+	if ev.MissingInstances != 0 {
+		t.Fatalf("MissingInstances = %d with cloud fallback", ev.MissingInstances)
+	}
+	if ev.CloudServed != 1 {
+		t.Fatalf("CloudServed = %d, want 1", ev.CloudServed)
+	}
+	// Request 0 (chain a→b, in 1 GB, out 1 GB, q 2+4 GFLOP):
+	// (1+1)·0.5 + 2/100 + 4/100 = 1.06
+	want := 1.06
+	if math.Abs(ev.Latencies[0]-want) > 1e-9 {
+		t.Fatalf("cloud latency = %v, want %v", ev.Latencies[0], want)
+	}
+	if math.IsInf(ev.Objective, 1) {
+		t.Fatal("objective should be finite under cloud fallback")
+	}
+}
+
+func TestCloudFallbackOffNil(t *testing.T) {
+	in := tinyInstance(t)
+	p := NewPlacement(2, 4)
+	p.Set(0, 0, true)
+	ev := in.Evaluate(p)
+	if ev.MissingInstances != 1 || ev.CloudServed != 0 {
+		t.Fatalf("without cloud: missing=%d cloud=%d", ev.MissingInstances, ev.CloudServed)
+	}
+}
+
+func TestCloudCompletionTime(t *testing.T) {
+	cat := msvc.NewCatalog()
+	a, _ := cat.Add("a", 1, 10, 1)
+	cc := CloudConfig{TransferCost: 2, Compute: 5}
+	req := &msvc.Request{Chain: []int{a}, DataIn: 1, DataOut: 3}
+	// (1+3)·2 + 10/5 = 10
+	if got := cc.CloudCompletionTime(cat, req); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("CloudCompletionTime = %v, want 10", got)
+	}
+}
+
+// Parallel-path parity: evaluation of ≥64 requests must agree exactly with
+// a request-by-request serial recomputation for every routing mode.
+func TestParallelEvaluationParity(t *testing.T) {
+	g := topology.RandomGeometric(10, 0.35, topology.DefaultGenConfig(), 21)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), 21)
+	w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(150), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e6}
+	p := randomPlacement(in, 5)
+
+	for _, mode := range []RoutingMode{RouteModeOptimal, RouteModeGreedy, RouteModeRandom} {
+		ev := in.EvaluateRouted(p, mode, 7) // parallel (150 ≥ threshold)
+		// Serial recomputation per request.
+		for h := range in.Workload.Requests {
+			req := &in.Workload.Requests[h]
+			var want float64
+			var err error
+			switch mode {
+			case RouteModeGreedy:
+				_, want, err = in.RouteGreedy(req, p)
+			case RouteModeRandom:
+				rng := stats.NewRand(7 + int64(h)*0x9e3779b9)
+				_, want, err = in.RouteRandom(req, p, rng)
+			default:
+				_, want, err = in.RouteOptimal(req, p)
+			}
+			if err != nil {
+				if !math.IsInf(ev.Latencies[h], 1) {
+					t.Fatalf("mode %v req %d: expected +Inf", mode, h)
+				}
+				continue
+			}
+			if math.Abs(ev.Latencies[h]-want) > 1e-9 {
+				t.Fatalf("mode %v req %d: parallel %v != serial %v", mode, h, ev.Latencies[h], want)
+			}
+		}
+	}
+}
+
+func TestRoutingModeString(t *testing.T) {
+	if RouteModeOptimal.String() != "optimal" || RouteModeGreedy.String() != "greedy" ||
+		RouteModeRandom.String() != "random" || RoutingMode(99).String() != "?" {
+		t.Fatal("RoutingMode.String wrong")
+	}
+}
+
+func TestContentionNoTrafficNoCongestion(t *testing.T) {
+	in := tinyInstance(t)
+	p := NewPlacement(2, 4)
+	// Everything local to each request's home: no link traffic at all for
+	// request 1 (single service at home 3); request 0 still crosses links.
+	p.Set(0, 0, true)
+	p.Set(1, 0, true)
+	p.Set(0, 3, true)
+	rep := in.EvaluateWithContention(p, RouteModeOptimal, 0, DefaultContentionConfig())
+	if rep.LatencySumContended < rep.LatencySum-1e-9 {
+		t.Fatalf("contended latency %v below idle latency %v", rep.LatencySumContended, rep.LatencySum)
+	}
+	for key, u := range rep.Utilization {
+		if u < 0 {
+			t.Fatalf("negative utilization on %v", key)
+		}
+	}
+}
+
+func TestContentionSlowsOversubscribedLink(t *testing.T) {
+	// Two nodes, one slow link, huge ingress volume, tiny slot → the link
+	// oversubscribes and latency inflates.
+	g := topology.New(2)
+	g.AddNode(0, 0, 10, 10)
+	g.AddNode(1, 0, 10, 10)
+	if err := g.AddLink(0, 1, 1); err != nil { // 1 GB/s
+		t.Fatal(err)
+	}
+	g.Finalize()
+	cat := msvc.NewCatalog()
+	a, _ := cat.Add("a", 10, 1, 1)
+	cat.AddFlow([]msvc.ServiceID{a})
+	reqs := make([]msvc.Request, 10)
+	for i := range reqs {
+		reqs[i] = msvc.Request{ID: i, Home: 0, Chain: []int{a}, DataIn: 10, DataOut: 10, Deadline: math.Inf(1)}
+	}
+	in := &Instance{Graph: g, Workload: &msvc.Workload{Catalog: cat, Requests: reqs}, Lambda: 0.5, Budget: 1e4}
+	p := NewPlacement(1, 2)
+	p.Set(a, 1, true) // everyone crosses the link both ways
+
+	cc := ContentionConfig{SlotSeconds: 10} // capacity 10 GB/slot vs 200 GB traffic
+	rep := in.EvaluateWithContention(p, RouteModeOptimal, 0, cc)
+	if rep.Congested != 1 {
+		t.Fatalf("Congested = %d, want 1", rep.Congested)
+	}
+	u := rep.Utilization[[2]int{0, 1}]
+	if math.Abs(u-20) > 1e-9 { // 200 GB / (1 GB/s · 10 s)
+		t.Fatalf("utilization = %v, want 20", u)
+	}
+	if rep.LatencySumContended <= rep.LatencySum {
+		t.Fatalf("contention did not slow transfers: %v vs %v", rep.LatencySumContended, rep.LatencySum)
+	}
+	if rep.ObjectiveContended <= rep.Objective {
+		t.Fatal("contended objective should exceed idle objective")
+	}
+}
+
+func TestContentionDefaultsApplied(t *testing.T) {
+	in := tinyInstance(t)
+	p := NewPlacement(2, 4)
+	p.Set(0, 0, true)
+	p.Set(1, 1, true)
+	rep := in.EvaluateWithContention(p, RouteModeOptimal, 0, ContentionConfig{})
+	if rep == nil || rep.Utilization == nil {
+		t.Fatal("nil report")
+	}
+}
+
+func TestContentionCloudRequestsCarryNoEdgeTraffic(t *testing.T) {
+	in := tinyInstance(t)
+	in.Cloud = &CloudConfig{TransferCost: 0.5, Compute: 100}
+	p := NewPlacement(2, 4)
+	p.Set(0, 0, true) // service b only in the cloud
+	rep := in.EvaluateWithContention(p, RouteModeOptimal, 0, DefaultContentionConfig())
+	// Request 0 is cloud-served: it must not appear in link utilization.
+	// Request 1 (single service a at node 0, home 3) does cross links.
+	if rep.CloudServed != 1 {
+		t.Fatalf("CloudServed = %d", rep.CloudServed)
+	}
+	if math.IsInf(rep.LatencySumContended, 1) {
+		t.Fatal("contended latency infinite despite cloud fallback")
+	}
+}

@@ -1,0 +1,135 @@
+package model
+
+import (
+	"math"
+)
+
+// ContentionConfig parameterizes the network-contention extension of the
+// completion-time model. The paper's introduction motivates
+// dependency-aware routing with "path conflicts and network contention";
+// the base model (Eq. 2) prices each transfer at the idle link rate. This
+// extension re-prices transfers after routing by sharing each link's
+// capacity among the traffic that crosses it within a decision slot.
+type ContentionConfig struct {
+	// SlotSeconds is the decision-slot duration over which link capacity is
+	// shared. A link with rate b carries b·SlotSeconds GB per slot at unit
+	// utilization.
+	SlotSeconds float64
+}
+
+// DefaultContentionConfig prices contention over a 5-minute slot.
+func DefaultContentionConfig() ContentionConfig { return ContentionConfig{SlotSeconds: 300} }
+
+// ContentionReport extends an Evaluation with link-level congestion data.
+type ContentionReport struct {
+	*Evaluation
+	// Utilization maps each directed-free link key (min,max node ID) to
+	// traffic divided by slot capacity. Values above 1 mean the link is
+	// oversubscribed and its transfers were slowed proportionally.
+	Utilization map[[2]int]float64
+	// Congested is the number of links with utilization > 1.
+	Congested int
+	// LatencySumContended is Σ𝒟 after congestion re-pricing (≥ LatencySum).
+	LatencySumContended float64
+	// ObjectiveContended is the objective with the re-priced latency.
+	ObjectiveContended float64
+}
+
+// EvaluateWithContention routes like EvaluateRouted, then computes per-link
+// utilization from the chosen paths and re-prices every transfer leg by the
+// factor max(1, utilization) of its bottleneck link. A second routing pass
+// is intentionally not performed: the report prices the *chosen* routes, as
+// a cluster would experience them.
+func (in *Instance) EvaluateWithContention(p Placement, mode RoutingMode, seed int64, cc ContentionConfig) *ContentionReport {
+	if cc.SlotSeconds <= 0 {
+		cc.SlotSeconds = DefaultContentionConfig().SlotSeconds
+	}
+	ev := in.EvaluateRouted(p, mode, seed)
+	rep := &ContentionReport{Evaluation: ev, Utilization: map[[2]int]float64{}}
+	g := in.Graph
+
+	// Pass 1: accumulate traffic per physical link.
+	addPath := func(a, b int, gb float64) {
+		if a == b || gb <= 0 {
+			return
+		}
+		path := g.Path(a, b)
+		for i := 1; i < len(path); i++ {
+			rep.Utilization[linkKey(path[i-1], path[i])] += gb
+		}
+	}
+	for h := range in.Workload.Requests {
+		req := &in.Workload.Requests[h]
+		route := ev.Routes[h]
+		if len(route.Nodes) != len(req.Chain) {
+			continue // cloud-served or missing: no edge traffic
+		}
+		addPath(req.Home, route.Nodes[0], req.DataIn)
+		for t := 1; t < len(route.Nodes); t++ {
+			addPath(route.Nodes[t-1], route.Nodes[t], req.EdgeData[t-1])
+		}
+		addPath(route.Nodes[len(route.Nodes)-1], req.Home, req.DataOut)
+	}
+
+	// Convert traffic to utilization.
+	for key, gb := range rep.Utilization {
+		rate, ok := g.LinkRate(key[0], key[1])
+		if !ok || rate <= 0 {
+			continue
+		}
+		u := gb / (rate * cc.SlotSeconds)
+		rep.Utilization[key] = u
+		if u > 1 {
+			rep.Congested++
+		}
+	}
+
+	// Pass 2: re-price each request's transfers by its bottleneck factor.
+	slow := func(a, b int, gb float64) float64 {
+		if a == b || gb <= 0 {
+			return 0
+		}
+		base := g.TransferTime(a, b, gb)
+		worst := 1.0
+		path := g.Path(a, b)
+		for i := 1; i < len(path); i++ {
+			if u := rep.Utilization[linkKey(path[i-1], path[i])]; u > worst {
+				worst = u
+			}
+		}
+		return base * worst
+	}
+	rep.LatencySumContended = 0
+	cat := in.Workload.Catalog
+	for h := range in.Workload.Requests {
+		req := &in.Workload.Requests[h]
+		route := ev.Routes[h]
+		if len(route.Nodes) != len(req.Chain) {
+			rep.LatencySumContended += ev.Latencies[h] // cloud/missing as-is
+			continue
+		}
+		d := slow(req.Home, route.Nodes[0], req.DataIn)
+		for t, k := range route.Nodes {
+			d += cat.Service(req.Chain[t]).Compute / g.Node(k).Compute
+			if t > 0 {
+				d += slow(route.Nodes[t-1], k, req.EdgeData[t-1])
+			}
+		}
+		// Egress keeps the min-hop pricing of the base model, scaled by the
+		// bottleneck of the min-time path as an approximation.
+		d += req.DataOut * g.HopPathCost(route.Nodes[len(route.Nodes)-1], req.Home)
+		if math.IsInf(ev.Latencies[h], 1) {
+			d = math.Inf(1)
+		}
+		rep.LatencySumContended += d
+	}
+	rep.ObjectiveContended = in.Objective(ev.Cost, rep.LatencySumContended)
+	return rep
+}
+
+func linkKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

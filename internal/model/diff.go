@@ -1,0 +1,33 @@
+package model
+
+// PlacementDiff compares two placements over the same (services × nodes)
+// shape and returns the number of instances present only in next (added)
+// and only in prev (removed). Mismatched shapes count every out-of-range
+// instance as a change, so diffs against a zero-value placement behave
+// sensibly.
+func PlacementDiff(prev, next Placement) (added, removed int) {
+	maxSvc := len(prev.X)
+	if len(next.X) > maxSvc {
+		maxSvc = len(next.X)
+	}
+	for i := 0; i < maxSvc; i++ {
+		maxNode := 0
+		if i < len(prev.X) && len(prev.X[i]) > maxNode {
+			maxNode = len(prev.X[i])
+		}
+		if i < len(next.X) && len(next.X[i]) > maxNode {
+			maxNode = len(next.X[i])
+		}
+		for k := 0; k < maxNode; k++ {
+			p := i < len(prev.X) && k < len(prev.X[i]) && prev.X[i][k]
+			n := i < len(next.X) && k < len(next.X[i]) && next.X[i][k]
+			switch {
+			case n && !p:
+				added++
+			case p && !n:
+				removed++
+			}
+		}
+	}
+	return added, removed
+}

@@ -1,0 +1,185 @@
+package msvc
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// This file embeds three more microservice-based systems from the curated
+// dataset family the paper draws on ([23]: "A curated dataset of
+// microservices-based systems", 20 projects): Weaveworks' Sock Shop, the
+// PiggyMetrics personal-finance app, and DeathStarBench's Hotel
+// Reservation. Together with eShopOnContainers they let experiments sweep
+// across application shapes: shallow fan-out (Sock Shop), hub-and-spoke
+// (PiggyMetrics), and deep chains (Hotel Reservation).
+
+// appSpec is a declarative application definition.
+type appSpec struct {
+	name     string
+	services []string
+	deps     [][2]string
+	flows    [][]string
+}
+
+var sockShopSpec = appSpec{
+	name: "sock-shop",
+	services: []string{
+		"front-end", "user", "catalogue", "carts", "orders",
+		"payment", "shipping", "queue-master",
+	},
+	deps: [][2]string{
+		{"front-end", "user"},
+		{"front-end", "catalogue"},
+		{"front-end", "carts"},
+		{"front-end", "orders"},
+		{"orders", "user"},
+		{"orders", "carts"},
+		{"orders", "payment"},
+		{"orders", "shipping"},
+		{"shipping", "queue-master"},
+	},
+	flows: [][]string{
+		{"front-end", "catalogue"},
+		{"front-end", "carts", "orders", "user"},
+		{"front-end", "orders", "payment"},
+		{"front-end", "orders", "shipping", "queue-master"},
+		{"front-end", "user"},
+		{"front-end", "carts", "orders", "payment"},
+	},
+}
+
+var piggyMetricsSpec = appSpec{
+	name: "piggymetrics",
+	services: []string{
+		"gateway", "auth-service", "account-service",
+		"statistics-service", "notification-service", "config",
+	},
+	deps: [][2]string{
+		{"gateway", "auth-service"},
+		{"gateway", "account-service"},
+		{"gateway", "statistics-service"},
+		{"gateway", "notification-service"},
+		{"account-service", "auth-service"},
+		{"account-service", "statistics-service"},
+		{"notification-service", "account-service"},
+		{"account-service", "config"},
+	},
+	flows: [][]string{
+		{"gateway", "auth-service"},
+		{"gateway", "account-service", "statistics-service"},
+		{"gateway", "account-service", "auth-service"},
+		{"gateway", "statistics-service"},
+		{"gateway", "notification-service", "account-service"},
+		{"gateway", "account-service", "config"},
+	},
+}
+
+var hotelReservationSpec = appSpec{
+	name: "hotel-reservation",
+	services: []string{
+		"frontend", "search", "geo", "rate", "profile",
+		"recommendation", "reservation", "user", "memcached-profile",
+	},
+	deps: [][2]string{
+		{"frontend", "search"},
+		{"frontend", "profile"},
+		{"frontend", "recommendation"},
+		{"frontend", "reservation"},
+		{"frontend", "user"},
+		{"search", "geo"},
+		{"search", "rate"},
+		{"geo", "rate"}, // search's geo results feed the rate lookup
+		{"profile", "memcached-profile"},
+		{"recommendation", "profile"},
+		{"reservation", "user"},
+		{"rate", "reservation"}, // chosen rate flows into the booking
+	},
+	flows: [][]string{
+		// Search is the deep path: frontend → search → geo → rate →
+		// reservation → user.
+		{"frontend", "search", "geo", "rate", "reservation", "user"},
+		{"frontend", "search", "geo", "rate"},
+		{"frontend", "search", "rate"},
+		{"frontend", "profile", "memcached-profile"},
+		{"frontend", "recommendation", "profile", "memcached-profile"},
+		{"frontend", "user", "reservation"},
+		{"frontend", "reservation", "user"},
+	},
+}
+
+// buildFromSpec materializes an appSpec with parameters drawn from cfg.
+func buildFromSpec(spec appSpec, cfg DatasetConfig, seed int64) *Catalog {
+	r := stats.NewRand(stats.SplitSeed(seed, "msvc/"+spec.name))
+	c := NewCatalog()
+	for _, name := range spec.services {
+		if _, err := c.Add(name,
+			stats.UniformIn(r, cfg.CostMin, cfg.CostMax),
+			stats.UniformIn(r, cfg.ComputeMin, cfg.ComputeMax),
+			stats.UniformIn(r, cfg.StorageMin, cfg.StorageMax)); err != nil {
+			panic(err) // specs are static and validated by tests
+		}
+	}
+	for _, d := range spec.deps {
+		from, ok1 := c.Lookup(d[0])
+		to, ok2 := c.Lookup(d[1])
+		if !ok1 || !ok2 {
+			panic(fmt.Sprintf("msvc: %s dependency references unknown service %v", spec.name, d))
+		}
+		if err := c.AddDependency(from, to); err != nil {
+			panic(err)
+		}
+	}
+	for _, f := range spec.flows {
+		chain := make([]ServiceID, len(f))
+		for i, name := range f {
+			id, ok := c.Lookup(name)
+			if !ok {
+				panic(fmt.Sprintf("msvc: %s flow references unknown service %q", spec.name, name))
+			}
+			chain[i] = id
+		}
+		if err := c.AddFlow(chain); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// SockShopCatalog builds the Weaveworks Sock Shop dependency dataset.
+func SockShopCatalog(cfg DatasetConfig, seed int64) *Catalog {
+	return buildFromSpec(sockShopSpec, cfg, seed)
+}
+
+// PiggyMetricsCatalog builds the PiggyMetrics dependency dataset.
+func PiggyMetricsCatalog(cfg DatasetConfig, seed int64) *Catalog {
+	return buildFromSpec(piggyMetricsSpec, cfg, seed)
+}
+
+// HotelReservationCatalog builds the DeathStarBench Hotel Reservation
+// dependency dataset (the deep-chain workload).
+func HotelReservationCatalog(cfg DatasetConfig, seed int64) *Catalog {
+	return buildFromSpec(hotelReservationSpec, cfg, seed)
+}
+
+// DatasetNames lists the embedded application datasets accepted by
+// CatalogByName.
+func DatasetNames() []string {
+	return []string{"eshop", "sock-shop", "piggymetrics", "hotel-reservation"}
+}
+
+// CatalogByName builds an embedded dataset by its name.
+func CatalogByName(name string, cfg DatasetConfig, seed int64) (*Catalog, error) {
+	switch name {
+	case "eshop":
+		return EShopCatalog(cfg, seed), nil
+	case "sock-shop":
+		return SockShopCatalog(cfg, seed), nil
+	case "piggymetrics":
+		return PiggyMetricsCatalog(cfg, seed), nil
+	case "hotel-reservation":
+		return HotelReservationCatalog(cfg, seed), nil
+	default:
+		return nil, fmt.Errorf("msvc: unknown dataset %q (have %v)", name, DatasetNames())
+	}
+}

@@ -1,0 +1,141 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/topology"
+
+	"repro/internal/model"
+	"repro/internal/msvc"
+)
+
+// storageRichInstance builds instances where storage never binds, so the
+// decomposition is always applicable and must match branch-and-bound.
+func storageRichInstance(nodes, users, services int, seed int64) *model.Instance {
+	gcfg := topology.DefaultGenConfig()
+	gcfg.StorageMin, gcfg.StorageMax = 100, 200
+	g := topology.RandomGeometric(nodes, 0.5, gcfg, seed)
+	cat := msvc.SyntheticCatalog(services, msvc.DefaultDatasetConfig(), seed)
+	cfg := msvc.DefaultWorkloadConfig(users)
+	cfg.DeadlineSlack = 0
+	w, err := msvc.GenerateWorkload(cat, g, cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e5}
+}
+
+func TestDecomposedMatchesBranchAndBound(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := storageRichInstance(6, 8, 4, seed)
+		dec, err := SolveDecomposed(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Applicable || dec.Status != Optimal {
+			t.Fatalf("seed %d: decomposition not applicable on storage-rich instance: %+v", seed, dec.Status)
+		}
+		bb, err := Solve(in, Options{TimeLimit: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bb.Status != Optimal {
+			t.Skipf("seed %d: B&B did not prove in time", seed)
+		}
+		if math.Abs(dec.StarObjective-bb.StarObjective) > 1e-6 {
+			t.Fatalf("seed %d: decomposed %v != B&B %v", seed, dec.StarObjective, bb.StarObjective)
+		}
+	}
+}
+
+func TestDecomposedInfeasibleBudget(t *testing.T) {
+	in := storageRichInstance(5, 6, 4, 9)
+	in.Budget = 1
+	dec, err := SolveDecomposed(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", dec.Status)
+	}
+}
+
+func TestDecomposedStorageConflictFlagged(t *testing.T) {
+	// One node with tiny storage and all demand: the storage-relaxed
+	// optimum piles everything there and must be flagged inapplicable.
+	g := topology.New(2)
+	g.AddNode(0, 0, 20, 1.0) // tiny storage, fast
+	g.AddNode(1, 0, 5, 50)
+	if err := g.AddLink(0, 1, 30); err != nil {
+		t.Fatal(err)
+	}
+	g.Finalize()
+	cat := msvc.NewCatalog()
+	a, _ := cat.Add("a", 100, 2, 0.9)
+	b, _ := cat.Add("b", 100, 2, 0.9)
+	cat.AddFlow([]msvc.ServiceID{a, b})
+	w := &msvc.Workload{Catalog: cat, Requests: []msvc.Request{
+		{ID: 0, Home: 0, Chain: []int{a, b}, DataIn: 5, DataOut: 5, EdgeData: []float64{5}, Deadline: math.Inf(1)},
+		{ID: 1, Home: 0, Chain: []int{a, b}, DataIn: 5, DataOut: 5, EdgeData: []float64{5}, Deadline: math.Inf(1)},
+	}}
+	in := &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e4}
+	dec, err := SolveDecomposed(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Applicable {
+		// Both services (0.9 each) on node 0 (capacity 1.0) would violate.
+		t.Fatalf("storage conflict not flagged; placement %+v", dec.Placement)
+	}
+	if dec.Status != Feasible {
+		t.Fatalf("status = %v, want feasible-with-conflict", dec.Status)
+	}
+}
+
+func TestDecomposedScalesBeyondBranchAndBound(t *testing.T) {
+	// A scale where B&B would cap out: the decomposition must finish fast
+	// and produce a feasible evaluable placement.
+	in := storageRichInstance(15, 60, 8, 3)
+	t0 := time.Now()
+	dec, err := SolveDecomposed(in, Options{TimeLimit: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Status != Optimal || !dec.Applicable {
+		t.Fatalf("status = %v applicable=%v", dec.Status, dec.Applicable)
+	}
+	if el := time.Since(t0); el > 10*time.Second {
+		t.Fatalf("decomposition too slow: %v", el)
+	}
+	ev := in.Evaluate(dec.Placement)
+	if ev.MissingInstances != 0 {
+		t.Fatal("decomposed placement misses instances")
+	}
+}
+
+// Property: the decomposition's objective is never worse than the greedy
+// incumbent of the branch-and-bound solver (both optimize the same star
+// objective; the decomposition is exact under relaxed storage).
+func TestDecomposedDominatesGreedyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := storageRichInstance(6, 10, 4, seed)
+		dec, err := SolveDecomposed(in, Options{})
+		if err != nil || dec.Status != Optimal || !dec.Applicable {
+			return false
+		}
+		bb, err := Solve(in, Options{MaxNodes: 1})
+		if err != nil {
+			return false
+		}
+		if bb.Status == Optimal || bb.Status == Feasible {
+			return dec.StarObjective <= bb.StarObjective+1e-6
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

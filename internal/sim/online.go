@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// SoCLOnline adapts core.OnlineSolver: SoCL with warm-instance retention
+// across slots, the paper's online operating mode. Unlike the stateless
+// adapters it carries state and must be constructed with NewSoCLOnline and
+// used for a single Run.
+type SoCLOnline struct {
+	solver *core.OnlineSolver
+	// Churn accumulates instances started+stopped across slots (excluding
+	// the cold start), for the online-vs-oneshot comparison experiments.
+	Churn int
+	slots int
+}
+
+// NewSoCLOnline returns a fresh online SoCL adapter.
+func NewSoCLOnline(cfg core.Config) *SoCLOnline {
+	return &SoCLOnline{solver: core.NewOnlineSolver(cfg)}
+}
+
+// Name implements Algorithm.
+func (*SoCLOnline) Name() string { return "SoCL-online" }
+
+// Routing implements Algorithm.
+func (*SoCLOnline) Routing() model.RoutingMode { return model.RouteModeOptimal }
+
+// Place implements Algorithm.
+func (s *SoCLOnline) Place(in *model.Instance) (model.Placement, error) {
+	sol, st, err := s.solver.Step(in)
+	if err != nil {
+		return model.Placement{}, err
+	}
+	if s.slots > 0 {
+		s.Churn += st.Started + st.Stopped
+	}
+	s.slots++
+	return sol.Placement, nil
+}

@@ -1,0 +1,340 @@
+// Package sim is the testbed substitute for the paper's Kubernetes
+// deployment (Section V-C): a time-slotted discrete-event simulator of a
+// serverless edge cluster. Users move among edge nodes (random-waypoint over
+// the topology), issue requests with stochastic dependency chains on a
+// Poisson clock (mean ≈ 5 minutes), and at every slot the placement
+// algorithm under test re-plans from the observed state — the paper's
+// "one-shot decision-making". Per-request latencies are measured with the
+// exact evaluator, so the algorithms are exercised through the identical
+// decision path they would take against a real cluster.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Algorithm is a placement-and-routing policy under test. Routing returns
+// the request-routing mode the algorithm pairs with its placements — the
+// paper's algorithms are joint provisioning+routing schemes, so RP routes
+// randomly, JDR greedily, and SoCL with optimized (exact DP) routing.
+type Algorithm interface {
+	Name() string
+	// Place computes a provisioning decision for the instance observed at
+	// the current slot.
+	Place(in *model.Instance) (model.Placement, error)
+	// Routing selects how this algorithm's placements are routed.
+	Routing() model.RoutingMode
+}
+
+// SoCL adapts the core solver.
+type SoCL struct{ Config core.Config }
+
+// Name implements Algorithm.
+func (SoCL) Name() string { return "SoCL" }
+
+// Routing implements Algorithm: SoCL optimizes routing.
+func (SoCL) Routing() model.RoutingMode { return model.RouteModeOptimal }
+
+// Place implements Algorithm.
+func (a SoCL) Place(in *model.Instance) (model.Placement, error) {
+	sol, err := core.Solve(in, a.Config)
+	if err != nil {
+		return model.Placement{}, err
+	}
+	return sol.Placement, nil
+}
+
+// RP adapts the random-provisioning baseline.
+type RP struct{ Seed int64 }
+
+// Name implements Algorithm.
+func (RP) Name() string { return "RP" }
+
+// Routing implements Algorithm: RP routes requests randomly.
+func (RP) Routing() model.RoutingMode { return model.RouteModeRandom }
+
+// Place implements Algorithm.
+func (a RP) Place(in *model.Instance) (model.Placement, error) {
+	return baselines.RP(in, a.Seed), nil
+}
+
+// JDR adapts the joint-deployment-and-routing baseline.
+type JDR struct{}
+
+// Name implements Algorithm.
+func (JDR) Name() string { return "JDR" }
+
+// Routing implements Algorithm: JDR routes greedily to the nearest
+// instance, ignoring chain dependencies (the paper's critique).
+func (JDR) Routing() model.RoutingMode { return model.RouteModeGreedy }
+
+// Place implements Algorithm.
+func (JDR) Place(in *model.Instance) (model.Placement, error) {
+	return baselines.JDR(in), nil
+}
+
+// GCOG adapts the greedy-combine baseline.
+type GCOG struct{}
+
+// Name implements Algorithm.
+func (GCOG) Name() string { return "GC-OG" }
+
+// Routing implements Algorithm: GC-OG's gradient uses the exact evaluator.
+func (GCOG) Routing() model.RoutingMode { return model.RouteModeOptimal }
+
+// Place implements Algorithm.
+func (GCOG) Place(in *model.Instance) (model.Placement, error) {
+	return baselines.GCOG(in).Placement, nil
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Graph   *topology.Graph
+	Catalog *msvc.Catalog
+
+	NumUsers         int
+	SlotMinutes      float64 // re-planning interval (paper: 5 min)
+	DurationMinutes  float64 // total simulated time (paper: 4 h = 240)
+	MeanInterarrival float64 // mean minutes between a user's requests
+	MoveProb         float64 // per-slot probability a user hops to a neighbor
+
+	Lambda float64
+	Budget float64
+
+	Workload msvc.WorkloadConfig // data-volume ranges; NumUsers is ignored
+
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's 4-hour trace experiment. The testbed
+// workload is user-facing: most data moves on the ingress/egress legs
+// (user uploads and result downloads), with lighter inter-service state —
+// so proximity to users, not instance co-location, decides latency, which
+// is the regime the testbed figures (9, 10) probe.
+func DefaultConfig(g *topology.Graph, cat *msvc.Catalog, users int, seed int64) Config {
+	w := msvc.DefaultWorkloadConfig(0)
+	w.DeadlineSlack = 0 // the trace experiment records latency, not SLOs
+	w.EdgeDataMin, w.EdgeDataMax = 1, 15
+	w.InDataMin, w.InDataMax = 5, 25
+	w.OutDataMin, w.OutDataMax = 5, 25
+	// λ = 0.05 makes the testbed latency-dominant: the paper's testbed
+	// tracks user-perceived delay (its λ is unreported), and SoCL's storage
+	// planning is explicitly designed to keep "more warm instances in the
+	// nearby area" — which only manifests when latency outweighs the
+	// per-instance deployment cost in the per-slot objective.
+	return Config{
+		Graph: g, Catalog: cat,
+		NumUsers: users, SlotMinutes: 5, DurationMinutes: 240,
+		MeanInterarrival: 5, MoveProb: 0.3,
+		Lambda: 0.05, Budget: 8000,
+		Workload: w,
+		Seed:     seed,
+	}
+}
+
+// SlotRecord is the measurement of one time slot.
+type SlotRecord struct {
+	Slot        int
+	TimeMinutes float64
+	Requests    int
+	AvgDelay    float64 // mean per-request completion time (s)
+	MaxDelay    float64
+	Cost        float64
+	Objective   float64
+	PlaceTime   time.Duration // algorithm decision time
+	Failed      int           // requests with no reachable instance
+}
+
+// Result aggregates a full simulation run.
+type Result struct {
+	Algorithm string
+	Slots     []SlotRecord
+	// AllDelays collects every per-request latency for distribution plots.
+	AllDelays []float64
+}
+
+// MeanDelay returns the average of all per-request delays.
+func (r *Result) MeanDelay() float64 { return stats.Mean(r.AllDelays) }
+
+// MaxDelay returns the maximum recorded delay (the paper's stability
+// metric), or 0 for an empty run.
+func (r *Result) MaxDelay() float64 {
+	if len(r.AllDelays) == 0 {
+		return 0
+	}
+	return stats.Max(r.AllDelays)
+}
+
+// MedianDelay returns the median per-request delay, or 0 for an empty run.
+func (r *Result) MedianDelay() float64 {
+	if len(r.AllDelays) == 0 {
+		return 0
+	}
+	return stats.Median(r.AllDelays)
+}
+
+// TotalCost sums per-slot deployment costs.
+func (r *Result) TotalCost() float64 {
+	s := 0.0
+	for _, rec := range r.Slots {
+		s += rec.Cost
+	}
+	return s
+}
+
+// Run simulates algo over the configured horizon.
+func Run(cfg Config, algo Algorithm) (*Result, error) {
+	if cfg.Graph == nil || cfg.Catalog == nil {
+		return nil, fmt.Errorf("sim: nil graph or catalog")
+	}
+	if cfg.NumUsers <= 0 || cfg.SlotMinutes <= 0 || cfg.DurationMinutes <= 0 {
+		return nil, fmt.Errorf("sim: non-positive sizing (users=%d slot=%v dur=%v)",
+			cfg.NumUsers, cfg.SlotMinutes, cfg.DurationMinutes)
+	}
+	if cfg.MeanInterarrival <= 0 {
+		cfg.MeanInterarrival = cfg.SlotMinutes
+	}
+	r := stats.NewRand(stats.SplitSeed(cfg.Seed, "sim/run"))
+	flows := cfg.Catalog.Flows()
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("sim: catalog has no flows")
+	}
+
+	// User state: current node.
+	homes := make([]int, cfg.NumUsers)
+	for u := range homes {
+		homes[u] = r.Intn(cfg.Graph.N())
+	}
+
+	numSlots := int(cfg.DurationMinutes / cfg.SlotMinutes)
+	res := &Result{Algorithm: algo.Name()}
+	for slot := 0; slot < numSlots; slot++ {
+		// Mobility: random-waypoint hop to a neighbor.
+		for u := range homes {
+			if r.Float64() < cfg.MoveProb {
+				nb := cfg.Graph.Neighbors(homes[u])
+				if len(nb) > 0 {
+					homes[u] = nb[r.Intn(len(nb))]
+				}
+			}
+		}
+
+		// Request generation: Poisson count per user for this slot.
+		reqs := makeSlotRequests(cfg, r, homes, flows)
+		rec := SlotRecord{Slot: slot, TimeMinutes: float64(slot) * cfg.SlotMinutes, Requests: len(reqs)}
+		if len(reqs) == 0 {
+			res.Slots = append(res.Slots, rec)
+			continue
+		}
+		in := &model.Instance{
+			Graph:    cfg.Graph,
+			Workload: &msvc.Workload{Catalog: cfg.Catalog, Requests: reqs},
+			Lambda:   cfg.Lambda,
+			Budget:   cfg.Budget,
+		}
+
+		t0 := time.Now()
+		placement, err := algo.Place(in)
+		rec.PlaceTime = time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s failed at slot %d: %w", algo.Name(), slot, err)
+		}
+
+		ev := in.EvaluateRouted(placement, algo.Routing(), stats.SplitSeed(cfg.Seed, "sim/route")+int64(slot))
+		rec.Cost = ev.Cost
+		rec.Objective = ev.Objective
+		rec.Failed = ev.MissingInstances
+		maxd := 0.0
+		sum, n := 0.0, 0
+		for _, d := range ev.Latencies {
+			if math.IsInf(d, 1) {
+				continue
+			}
+			sum += d
+			n++
+			if d > maxd {
+				maxd = d
+			}
+			res.AllDelays = append(res.AllDelays, d)
+		}
+		if n > 0 {
+			rec.AvgDelay = sum / float64(n)
+		}
+		rec.MaxDelay = maxd
+		res.Slots = append(res.Slots, rec)
+	}
+	return res, nil
+}
+
+// makeSlotRequests draws this slot's requests: per user a Poisson number of
+// arrivals with mean SlotMinutes/MeanInterarrival, each with a stochastic
+// dependency chain sampled from the catalog flows.
+func makeSlotRequests(cfg Config, r interface {
+	Float64() float64
+	Intn(int) int
+}, homes []int, flows [][]msvc.ServiceID) []msvc.Request {
+	var reqs []msvc.Request
+	mean := cfg.SlotMinutes / cfg.MeanInterarrival
+	id := 0
+	for u, home := range homes {
+		n := poisson(r, mean)
+		for i := 0; i < n; i++ {
+			base := flows[r.Intn(len(flows))]
+			chain := append([]msvc.ServiceID(nil), base...)
+			if len(chain) > 1 && r.Float64() < cfg.Workload.TruncateProb {
+				chain = chain[:len(chain)-1]
+			}
+			req := msvc.Request{
+				ID:       id,
+				Home:     home,
+				Chain:    chain,
+				DataIn:   uniform(r, cfg.Workload.InDataMin, cfg.Workload.InDataMax),
+				DataOut:  uniform(r, cfg.Workload.OutDataMin, cfg.Workload.OutDataMax),
+				Deadline: math.Inf(1),
+			}
+			req.EdgeData = make([]float64, len(chain)-1)
+			for e := range req.EdgeData {
+				req.EdgeData[e] = uniform(r, cfg.Workload.EdgeDataMin, cfg.Workload.EdgeDataMax)
+			}
+			reqs = append(reqs, req)
+			id++
+		}
+		_ = u
+	}
+	return reqs
+}
+
+func uniform(r interface{ Float64() float64 }, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// poisson draws a Poisson variate by Knuth's method (small means only).
+func poisson(r interface{ Float64() float64 }, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // safety for absurd means
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// GenConfig holds the parameter ranges used by all topology generators.
+// The defaults (DefaultGenConfig) follow the paper's evaluation setup:
+// edge servers with [5,20] GFLOP/s compute, [4,8] storage units, and
+// [20,80] GB/s effective link bandwidth.
+type GenConfig struct {
+	ComputeMin, ComputeMax float64 // c(v_k) range, GFLOP/s
+	StorageMin, StorageMax float64 // Φ(v_k) range, storage units
+	RateMin, RateMax       float64 // effective b(l) range, GB/s
+	// Shannon parameters: effective rate targets are realized as
+	// B = target / log2(1+SNR) with SNR drawn from [SNRMin, SNRMax], so the
+	// generated links honour b = B·log2(1+γg/N) while matching the target
+	// range above.
+	SNRMin, SNRMax float64
+}
+
+// DefaultGenConfig returns the paper's parameter ranges.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		ComputeMin: 5, ComputeMax: 20,
+		StorageMin: 4, StorageMax: 8,
+		RateMin: 20, RateMax: 80,
+		SNRMin: 1, SNRMax: 63,
+	}
+}
+
+func (c GenConfig) drawRate(r interface{ Float64() float64 }) float64 {
+	target := c.RateMin + r.Float64()*(c.RateMax-c.RateMin)
+	snr := c.SNRMin + r.Float64()*(c.SNRMax-c.SNRMin)
+	nominal := target / math.Log2(1+snr)
+	return ShannonRate(nominal, 1, snr, 1)
+}
+
+// RandomGeometric generates a connected random geometric graph of n edge
+// servers placed uniformly in a unit square, linking nodes closer than
+// radius. If the radius graph is disconnected, the nearest pair between
+// components is linked until connected, so the result is always connected.
+func RandomGeometric(n int, radius float64, cfg GenConfig, seed int64) *Graph {
+	r := stats.NewRand(seed)
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(r.Float64(), r.Float64(),
+			stats.UniformIn(r, cfg.ComputeMin, cfg.ComputeMax),
+			stats.UniformIn(r, cfg.StorageMin, cfg.StorageMax))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if nodeDist(g.nodes[i], g.nodes[j]) <= radius {
+				// Error is impossible: i!=j, indices valid, rate positive.
+				_ = g.AddLink(i, j, cfg.drawRate(r))
+			}
+		}
+	}
+	connect(g, cfg, r)
+	g.Finalize()
+	return g
+}
+
+// RingHubs generates a ring of n nodes with h additional hub nodes, each hub
+// linked to a random subset of ring nodes. Hubs have above-range compute.
+// This topology produces the high-degree interior nodes that Algorithm 1's
+// candidate election (Theorem 1: ℋ > 2) targets.
+func RingHubs(n, h int, cfg GenConfig, seed int64) *Graph {
+	r := stats.NewRand(seed)
+	g := New(n + h)
+	for i := 0; i < n; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(n)
+		g.AddNode(0.5+0.45*math.Cos(angle), 0.5+0.45*math.Sin(angle),
+			stats.UniformIn(r, cfg.ComputeMin, cfg.ComputeMax),
+			stats.UniformIn(r, cfg.StorageMin, cfg.StorageMax))
+	}
+	for i := 0; i < n; i++ {
+		_ = g.AddLink(i, (i+1)%n, cfg.drawRate(r))
+	}
+	for j := 0; j < h; j++ {
+		hub := g.AddNode(0.5, 0.5,
+			cfg.ComputeMax, // hubs are the beefy servers
+			stats.UniformIn(r, cfg.StorageMin, cfg.StorageMax))
+		// Attach each hub to between 3 and n/2+3 ring nodes so hubs always
+		// satisfy the ℋ > 2 candidate-degree requirement.
+		k := 3 + r.Intn(n/2+1)
+		perm := r.Perm(n)
+		for _, v := range perm[:k] {
+			_ = g.AddLink(hub, v, cfg.drawRate(r))
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// Grid generates a rows×cols lattice (4-neighbour) topology.
+func Grid(rows, cols int, cfg GenConfig, seed int64) *Graph {
+	r := stats.NewRand(seed)
+	g := New(rows * cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			g.AddNode(float64(j)/float64(cols), float64(i)/float64(rows),
+				stats.UniformIn(r, cfg.ComputeMin, cfg.ComputeMax),
+				stats.UniformIn(r, cfg.StorageMin, cfg.StorageMax))
+		}
+	}
+	id := func(i, j int) NodeID { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				_ = g.AddLink(id(i, j), id(i, j+1), cfg.drawRate(r))
+			}
+			if i+1 < rows {
+				_ = g.AddLink(id(i, j), id(i+1, j), cfg.drawRate(r))
+			}
+		}
+	}
+	g.Finalize()
+	return g
+}
+
+// Stadium generates the paper's "National Stadium" scenario: base stations
+// arranged in two concentric rings around a venue plus a few backbone hubs,
+// with denser links on the inner ring (crowd-facing cells) and radial links
+// outward. n is the total number of stations (minimum 6).
+func Stadium(n int, cfg GenConfig, seed int64) *Graph {
+	if n < 6 {
+		n = 6
+	}
+	r := stats.NewRand(seed)
+	inner := n / 2
+	outer := n - inner
+	g := New(n)
+	for i := 0; i < inner; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(inner)
+		g.AddNode(0.5+0.2*math.Cos(angle), 0.5+0.2*math.Sin(angle),
+			stats.UniformIn(r, cfg.ComputeMin, cfg.ComputeMax),
+			stats.UniformIn(r, cfg.StorageMin, cfg.StorageMax))
+	}
+	for i := 0; i < outer; i++ {
+		angle := 2 * math.Pi * float64(i) / float64(outer)
+		g.AddNode(0.5+0.45*math.Cos(angle), 0.5+0.45*math.Sin(angle),
+			stats.UniformIn(r, cfg.ComputeMin, cfg.ComputeMax),
+			stats.UniformIn(r, cfg.StorageMin, cfg.StorageMax))
+	}
+	// Inner ring: fully chained plus chords.
+	for i := 0; i < inner; i++ {
+		_ = g.AddLink(i, (i+1)%inner, cfg.drawRate(r))
+		if inner > 4 {
+			_ = g.AddLink(i, (i+2)%inner, cfg.drawRate(r))
+		}
+	}
+	// Outer ring chained.
+	for i := 0; i < outer; i++ {
+		_ = g.AddLink(inner+i, inner+(i+1)%outer, cfg.drawRate(r))
+	}
+	// Radial links: every outer station to the nearest inner station.
+	for i := 0; i < outer; i++ {
+		oi := inner + i
+		best, bestD := 0, math.Inf(1)
+		for j := 0; j < inner; j++ {
+			if d := nodeDist(g.nodes[oi], g.nodes[j]); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		_ = g.AddLink(oi, best, cfg.drawRate(r))
+	}
+	g.Finalize()
+	return g
+}
+
+// connect links the components of g (nearest pair across the first two
+// components, repeatedly) until g is connected.
+func connect(g *Graph, cfg GenConfig, r interface{ Float64() float64 }) {
+	for {
+		comps := g.Components()
+		if len(comps) <= 1 {
+			return
+		}
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for _, a := range comps[0] {
+			for _, b := range comps[1] {
+				if d := nodeDist(g.nodes[a], g.nodes[b]); d < bestD {
+					bestA, bestB, bestD = a, b, d
+				}
+			}
+		}
+		_ = g.AddLink(bestA, bestB, cfg.drawRate(r))
+	}
+}
+
+func nodeDist(a, b Node) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}

@@ -1,0 +1,140 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLineChartBasic(t *testing.T) {
+	svg := LineChart("runtime", "users", "seconds", []Series{
+		{Name: "OPT", X: []float64{10, 20, 30}, Y: []float64{0.01, 1, 30}},
+		{Name: "SoCL", X: []float64{10, 20, 30}, Y: []float64{0.001, 0.002, 0.003}},
+	}, false)
+	wellFormed(t, svg)
+	if c := strings.Count(svg, "<polyline"); c != 2 {
+		t.Fatalf("polylines = %d, want 2", c)
+	}
+	if !strings.Contains(svg, "OPT") || !strings.Contains(svg, "SoCL") {
+		t.Fatal("legend names missing")
+	}
+	if !strings.Contains(svg, "runtime") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestLineChartLogScale(t *testing.T) {
+	svg := LineChart("log", "x", "y", []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{0.001, 1, 1000}},
+	}, true)
+	wellFormed(t, svg)
+	// Log ticks should include a large-magnitude formatted label.
+	if !strings.Contains(svg, "e+") && !strings.Contains(svg, "1000") {
+		t.Fatalf("log ticks look wrong:\n%s", svg)
+	}
+}
+
+func TestLineChartHandlesNonPositiveOnLog(t *testing.T) {
+	svg := LineChart("log", "x", "y", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{0, 10}},
+	}, true)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("NaN/Inf leaked into SVG")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	svg := LineChart("empty", "x", "y", nil, false)
+	wellFormed(t, svg)
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	svg := LineChart("const", "x", "y", []Series{
+		{Name: "a", X: []float64{1, 1}, Y: []float64{5, 5}},
+	}, false)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN from degenerate ranges")
+	}
+}
+
+func TestGroupedBarChart(t *testing.T) {
+	svg := GroupedBarChart("objective", "value", []string{"80", "120"}, []Series{
+		{Name: "RP", Y: []float64{4000, 4100}},
+		{Name: "SoCL", Y: []float64{3100, 3200}},
+	})
+	wellFormed(t, svg)
+	if c := strings.Count(svg, "<rect"); c < 5 { // bg + 4 bars + legends
+		t.Fatalf("rects = %d", c)
+	}
+	if !strings.Contains(svg, "80") || !strings.Contains(svg, "RP") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestGroupedBarChartZeroData(t *testing.T) {
+	svg := GroupedBarChart("z", "v", []string{"a"}, []Series{{Name: "s", Y: []float64{0}}})
+	wellFormed(t, svg)
+}
+
+func TestXMLEscape(t *testing.T) {
+	svg := LineChart(`a<b>&"c"`, "x", "y", []Series{
+		{Name: "s<1>", X: []float64{1}, Y: []float64{1}},
+	}, false)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a<b>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+// Property: arbitrary finite data never produces malformed SVG or NaN
+// coordinates.
+func TestChartsRobustProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		n := 2 + r.Intn(10)
+		s := Series{Name: "s"}
+		for i := 0; i < n; i++ {
+			s.X = append(s.X, r.Float64()*100-50)
+			s.Y = append(s.Y, r.Float64()*1e6-5e5)
+		}
+		svg := LineChart("t", "x", "y", []Series{s}, r.Float64() < 0.5)
+		if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+			return false
+		}
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			if _, err := dec.Token(); err != nil {
+				return err.Error() == "EOF"
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

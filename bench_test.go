@@ -188,6 +188,21 @@ func BenchmarkCombine(b *testing.B) {
 	}
 }
 
+// BenchmarkCombineSerial isolates the small-scale serial descent — the
+// dominant cost in core.Solve at Fig. 7 scale. The generous budget makes the
+// parallel phase exit immediately, so every iteration is serial rounds of
+// ζ scoring, storage planning and exact deadline checks.
+func BenchmarkCombineSerial(b *testing.B) {
+	in := benchInstance(25, 250, 1)
+	in.Budget = 1e9
+	part := partition.Build(in, partition.DefaultConfig())
+	pre := preprov.Run(in, part)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		combine.Run(in, part, pre.Placement, combine.DefaultConfig())
+	}
+}
+
 func BenchmarkEvaluateExact(b *testing.B) {
 	in := benchInstance(20, 120, 1)
 	p := baselines.JDR(in)

@@ -16,6 +16,34 @@
 // step maintains a reliance — the instance serving it — updated by the
 // connection rule (same partition group preferred, then highest channel
 // speed from the user's home server).
+//
+// # Incremental engine invariants
+//
+// The hot path (ζ scoring and the exact deadline check) runs on an
+// incremental engine (incremental.go) whose correctness rests on three
+// invariants, each preserved by every placement/reliance mutation:
+//
+//  1. Candidate coherence: state.idx always indexes the live placement.
+//     Every placement mutation goes through state.setPlace, and wholesale
+//     replacements (snapshot restore) Rebind the index. Cached per-service
+//     node lists are therefore equal to Placement.NodesOf at all times.
+//  2. Reliance-index coherence: state.relyIdx maps each live instance to
+//     the ascending (h,t) list of steps relying on it — exactly the pairs
+//     with rel[h][t]==node and Chain[t]==svc. Reliance reassignments move
+//     entries between lists; restores rebuild the index from rel. The
+//     ascending order makes ζ's float summation bit-identical to the naive
+//     full scan.
+//  3. Route-cache exactness: a valid state.routes entry holds the request's
+//     true optimal route and latency under the live placement. Removing an
+//     instance invalidates exactly the requests whose cached route used it
+//     (shrinking a candidate set cannot change the optimum of a request
+//     whose route avoids the removed node); adding one (migration target)
+//     invalidates every request whose chain contains the service, since a
+//     grown candidate set can strictly improve avoided-node routes too.
+//
+// Config.Naive disables the engine and runs the original full rescans; the
+// two paths are differentially tested to produce bit-identical placements
+// and statistics.
 package combine
 
 import (
@@ -48,6 +76,10 @@ type Config struct {
 	// trading a bounded amount of objective for fewer container cold-starts.
 	// 0 keeps the ordering purely objective-driven.
 	WarmBias float64
+	// Naive disables the incremental routing engine and re-derives every ζ
+	// and deadline check from full scans. Results are bit-identical either
+	// way; the flag exists for differential tests and benchmarks.
+	Naive bool
 }
 
 // DefaultConfig returns ω=0.25, Θ=1.0.
@@ -62,6 +94,12 @@ type Result struct {
 	Migrated   int  // storage-planning migrations
 	ParallelRounds,
 	SerialRounds int
+
+	// Incremental-engine telemetry (zero when Config.Naive): requests whose
+	// cached optimal route was reused across deadline checks, and requests
+	// re-routed because a mutation could have changed their optimum.
+	RouteCacheHits  int
+	RouteRecomputed int
 }
 
 type instKey struct{ svc, node int }
@@ -79,6 +117,46 @@ type state struct {
 	cost     float64
 	warm     map[instKey]bool // instances running in the previous slot
 	warmBias float64
+
+	// Incremental engine (all nil/zero when running naive; see
+	// incremental.go and the package comment's invariants).
+	idx                   *model.PlacementIndex   // cached candidate node lists
+	relyIdx               map[instKey][][2]int    // instance → ascending relying (h,t)
+	routes                []cachedRoute           // per-request deadline-check cache
+	finite                []int                   // requests with finite deadlines
+	chainReqs             map[int][]int           // service → finite requests using it
+	scratch               *model.RouteScratch     // serial-path DP buffers
+	dirtyBuf              []int                   // reusable re-route worklist
+	zetaCache             map[int]map[int]float64 // service → node → memoized ζ
+	cacheHits, recomputed int
+
+	// Static memoization, shared by both engine modes (pure functions of
+	// the instance and partition, never of the mutable placement).
+	groupTab  map[int][]int // service → per-node partition group, -1 outside
+	rhoCache  [][]float64   // localDemandFactor (svc, node), NaN = unset
+	demandTab [][]int       // demandTab[svc][k] = Workload.DemandCount(k, svc)
+	latTab    [][]float64   // per request: step latencies, row-major [t·V+k]
+	cloudLat  [][]float64   // per request: cloud step latencies [t]
+	snap      snapState     // reusable serial-step snapshot buffers
+}
+
+// setPlace mutates the placement, keeping the candidate index coherent
+// (invariant 1).
+func (s *state) setPlace(i, k int, val bool) {
+	if s.idx != nil {
+		s.idx.Set(i, k, val)
+		return
+	}
+	s.place.Set(i, k, val)
+}
+
+// nodesOf returns service i's hosting nodes, ascending — cached when the
+// incremental engine is on.
+func (s *state) nodesOf(i int) []int {
+	if s.idx != nil {
+		return s.idx.NodesOf(i)
+	}
+	return s.place.NodesOf(i)
 }
 
 // Run executes the multi-scale combination on the pre-provisioned placement.
@@ -109,7 +187,11 @@ func Run(in *model.Instance, part *partition.Result, pre model.Placement, cfg Co
 		}
 	}
 	s.cost = in.DeployCost(s.place)
+	s.buildStaticTables()
 	s.initReliance()
+	if !cfg.Naive {
+		s.initIncremental()
+	}
 
 	res := Result{}
 	res.BudgetMet = s.parallelPhase(cfg, &res)
@@ -118,10 +200,106 @@ func Run(in *model.Instance, part *partition.Result, pre model.Placement, cfg Co
 	// a placement can exit the loop budget-feasible but storage-tight.
 	s.storagePlanning(&res)
 	res.Placement = s.place
+	res.RouteCacheHits = s.cacheHits
+	res.RouteRecomputed = s.recomputed
 	return res
 }
 
 // --- reliance bookkeeping ---
+
+// buildStaticTables precomputes lookups that depend only on the instance
+// and the (immutable) partition: the per-service node→group table replacing
+// ServicePartition.GroupOf's linear scan on the pickReliance hot path, and
+// the lazy memo for the FuzzyAHP local demand factor ρ (a pure function of
+// the workload). Both modes share these — they change no observable value.
+func (s *state) buildStaticTables() {
+	s.groupTab = make(map[int][]int, len(s.part.ByService))
+	for svc, sp := range s.part.ByService {
+		if sp == nil {
+			continue
+		}
+		row := make([]int, s.in.V())
+		for k := range row {
+			row[k] = -1
+		}
+		// First group wins, mirroring GroupOf's scan order.
+		for g := range sp.Groups {
+			for _, n := range sp.Groups[g].Members {
+				if row[n] == -1 {
+					row[n] = g
+				}
+			}
+			for _, n := range sp.Groups[g].Candidates {
+				if row[n] == -1 {
+					row[n] = g
+				}
+			}
+		}
+		s.groupTab[svc] = row
+	}
+	s.rhoCache = make([][]float64, s.in.M())
+	for i := range s.rhoCache {
+		s.rhoCache[i] = make([]float64, s.in.V())
+		for k := range s.rhoCache[i] {
+			s.rhoCache[i][k] = math.NaN()
+		}
+	}
+	// Per-(service,node) user demand in one workload pass, replacing the
+	// O(|U|·L) DemandCount scan inside every ρ normalizer.
+	s.demandTab = make([][]int, s.in.M())
+	for i := range s.demandTab {
+		s.demandTab[i] = make([]int, s.in.V())
+	}
+	reqs := s.in.Workload.Requests
+	for h := range reqs {
+		req := &reqs[h]
+		for t, svc := range req.Chain {
+			dup := false
+			for _, prev := range req.Chain[:t] {
+				if prev == svc {
+					dup = true // Uses() counts a request once per service
+					break
+				}
+			}
+			if !dup {
+				s.demandTab[svc][req.Home]++
+			}
+		}
+	}
+	// Step latencies are pure in (h, t, k): precompute them eagerly so the
+	// ζ and objective hot loops — including the parallel ζ workers — do
+	// read-only table lookups.
+	v := s.in.V()
+	s.latTab = make([][]float64, len(reqs))
+	if s.in.Cloud != nil {
+		s.cloudLat = make([][]float64, len(reqs))
+	}
+	for h := range reqs {
+		req := &reqs[h]
+		row := make([]float64, len(req.Chain)*v)
+		for t := range req.Chain {
+			data := s.stepData(h, t)
+			comp := s.in.Workload.Catalog.Service(req.Chain[t]).Compute
+			for k := 0; k < v; k++ {
+				c := s.in.Graph.PathCost(req.Home, k)
+				if math.IsInf(c, 1) {
+					row[t*v+k] = 1e12
+					continue
+				}
+				row[t*v+k] = data*c + comp/s.in.Graph.Node(k).Compute
+			}
+		}
+		s.latTab[h] = row
+		if s.in.Cloud != nil {
+			crow := make([]float64, len(req.Chain))
+			for t := range req.Chain {
+				crow[t] = s.stepData(h, t)*s.in.Cloud.TransferCost +
+					s.in.Workload.Catalog.Service(req.Chain[t]).Compute/s.in.Cloud.Compute
+			}
+			s.cloudLat[h] = crow
+		}
+	}
+}
 
 func (s *state) initReliance() {
 	reqs := s.in.Workload.Requests
@@ -142,17 +320,17 @@ func (s *state) initReliance() {
 func (s *state) pickReliance(h, t, excl int) int {
 	req := &s.in.Workload.Requests[h]
 	svc := req.Chain[t]
-	sp := s.part.ByService[svc]
+	groups := s.groupTab[svc] // nil when the service has no partition
 	homeGroup := -1
-	if sp != nil {
-		homeGroup = sp.GroupOf(req.Home)
+	if groups != nil {
+		homeGroup = groups[req.Home]
 	}
 	best, bestCost, bestInGroup := -1, math.Inf(1), false
-	for _, k := range s.place.NodesOf(svc) {
+	for _, k := range s.nodesOf(svc) {
 		if k == excl {
 			continue
 		}
-		inGroup := sp != nil && homeGroup != -1 && sp.GroupOf(k) == homeGroup
+		inGroup := homeGroup != -1 && groups[k] == homeGroup
 		c := s.in.Graph.PathCost(req.Home, k)
 		// Group preference dominates; within a class, lowest cost wins.
 		if best == -1 || (inGroup && !bestInGroup) ||
@@ -176,8 +354,17 @@ func (s *state) stepData(h, t int) float64 {
 }
 
 // stepLatency is the ψ contribution of serving (h,t) at node k: transfer of
-// the step's data from home plus compute time.
+// the step's data from home plus compute time. Values are pure in (h,t,k)
+// and normally served from the tables built by buildStaticTables; the
+// formula fallback keeps hand-assembled states (tests) working.
 func (s *state) stepLatency(h, t, k int) float64 {
+	if k == cloudNode {
+		if s.cloudLat != nil {
+			return s.cloudLat[h][t]
+		}
+	} else if s.latTab != nil {
+		return s.latTab[h][t*s.in.V()+k]
+	}
 	req := &s.in.Workload.Requests[h]
 	if k == cloudNode {
 		// Cloud-served step: WAN transfer of the step's data plus cloud
@@ -213,8 +400,22 @@ func (s *state) starObjective() float64 {
 
 // zeta computes ζ_{i,k} (Eq. 14) for the instance (svc, node): the latency
 // increase of moving every relying step to its best alternative. +Inf when
-// some step would have no alternative.
+// some step would have no alternative. With the reverse reliance index the
+// cost is O(relying steps); the naive fallback scans every (h,t) pair. Both
+// visit relying steps in ascending (h,t) order, so the sums are identical.
 func (s *state) zeta(svc, node int) float64 {
+	if s.relyIdx != nil {
+		loss := 0.0
+		for _, ht := range s.relyIdx[instKey{svc, node}] {
+			h, t := ht[0], ht[1]
+			alt := s.pickReliance(h, t, node)
+			if alt == -1 {
+				return math.Inf(1) // no alternative and no cloud
+			}
+			loss += s.stepLatency(h, t, alt) - s.stepLatency(h, t, node)
+		}
+		return loss
+	}
 	loss := 0.0
 	for h := range s.rel {
 		req := &s.in.Workload.Requests[h]
@@ -244,35 +445,49 @@ const zetaParallelThreshold = 32
 
 // updateInstanceSet is Algorithm 4: the eligible instances with their ζ,
 // sorted ascending (highest combination priority first). Services reduced
-// to a single instance are excluded to preserve service continuity. Large
-// instance sets are scored in parallel — the "parallel" in the paper's
-// parallel local search.
+// to a single instance are excluded to preserve service continuity. With
+// the incremental engine, ζ values are served from the per-service memo —
+// a mutation of service i invalidates only i's row, because ζ(i,k) depends
+// solely on i's candidate set and relying steps — so a serial round rescores
+// one service instead of the whole deployment. Cache misses are scored in
+// parallel when numerous — the "parallel" in the paper's parallel local
+// search.
 func (s *state) updateInstanceSet() []scoredInst {
 	var out []scoredInst
+	var miss []int // indices of out lacking a memoized ζ
 	for _, svc := range s.in.Workload.ServicesUsed() {
-		nodes := s.place.NodesOf(svc)
+		nodes := s.nodesOf(svc)
 		// Line 2-3: single-instance services are skipped for continuity —
 		// unless the cloud fallback exists, in which case even the last
 		// instance may combine (the service then runs from the cloud).
 		if len(nodes) <= 1 && s.in.Cloud == nil {
 			continue
 		}
+		row := s.zetaCache[svc] // nil map lookup is fine in naive mode
 		for _, k := range nodes {
 			key := instKey{svc, k}
 			if s.frozen[key] {
 				continue
 			}
-			out = append(out, scoredInst{key, 0})
+			if z, ok := row[k]; ok {
+				out = append(out, scoredInst{key, z})
+			} else {
+				miss = append(miss, len(out))
+				out = append(out, scoredInst{key, 0})
+			}
 		}
 	}
-	if len(out) >= zetaParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+	if len(miss) >= zetaParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+		if s.idx != nil {
+			s.idx.Prewarm() // ζ workers read candidate lists concurrently
+		}
 		var wg sync.WaitGroup
 		workers := runtime.GOMAXPROCS(0)
-		chunk := (len(out) + workers - 1) / workers
+		chunk := (len(miss) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			lo, hi := w*chunk, (w+1)*chunk
-			if hi > len(out) {
-				hi = len(out)
+			if hi > len(miss) {
+				hi = len(miss)
 			}
 			if lo >= hi {
 				break
@@ -280,15 +495,25 @@ func (s *state) updateInstanceSet() []scoredInst {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				for i := lo; i < hi; i++ {
+				for _, i := range miss[lo:hi] {
 					out[i].zeta = s.zeta(out[i].key.svc, out[i].key.node)
 				}
 			}(lo, hi)
 		}
 		wg.Wait()
 	} else {
-		for i := range out {
+		for _, i := range miss {
 			out[i].zeta = s.zeta(out[i].key.svc, out[i].key.node)
+		}
+	}
+	if s.zetaCache != nil {
+		for _, i := range miss {
+			row := s.zetaCache[out[i].key.svc]
+			if row == nil {
+				row = make(map[int]float64)
+				s.zetaCache[out[i].key.svc] = row
+			}
+			row[out[i].key.node] = out[i].zeta
 		}
 	}
 	// Removal priority: warm instances resist removal by WarmBias latency
@@ -318,9 +543,25 @@ func (s *state) updateInstanceSet() []scoredInst {
 
 // removeInstance deletes (svc,node) and re-homes every relying step.
 // It returns the list of (h,t) pairs whose reliance changed, for undo.
+// Incrementally the relying steps come straight off the reverse index
+// (invariant 2) and only routes that used the instance are invalidated
+// (invariant 3); the naive fallback scans all (h,t). Both orders ascend.
 func (s *state) removeInstance(svc, node int) [][2]int {
-	s.place.Set(svc, node, false)
+	s.setPlace(svc, node, false)
+	delete(s.zetaCache, svc) // ζ row depends on svc's candidates + reliances
 	s.cost -= s.in.Workload.Catalog.Service(svc).DeployCost
+	if s.relyIdx != nil {
+		s.invalidateRoutesRemoved(svc, node)
+		moved := s.relyIdx[instKey{svc, node}]
+		delete(s.relyIdx, instKey{svc, node})
+		for _, ht := range moved {
+			h, t := ht[0], ht[1]
+			nk := s.pickReliance(h, t, -1)
+			s.rel[h][t] = nk
+			s.relyAdd(svc, nk, h, t)
+		}
+		return moved
+	}
 	var moved [][2]int
 	for h := range s.rel {
 		req := &s.in.Workload.Requests[h]
@@ -356,7 +597,6 @@ func (s *state) parallelPhase(cfg Config, res *Result) bool {
 		omega = s.filterDependencyConflicts(omega)
 
 		removedAny := false
-		perSvc := map[int]int{}
 		for _, inst := range omega {
 			if s.cost <= s.in.Budget {
 				break
@@ -366,19 +606,22 @@ func (s *state) parallelPhase(cfg Config, res *Result) bool {
 			}
 			// Never remove below one instance even if the batch contains
 			// several instances of the same service — unless the cloud
-			// fallback can absorb the service entirely.
+			// fallback can absorb the service entirely. The live Count
+			// already reflects this batch's removals, so it is compared
+			// against the floor directly (an earlier revision subtracted a
+			// per-service removal tally on top, double-counting removals and
+			// skipping legal ones).
 			floor := 1
 			if s.in.Cloud != nil {
 				floor = 0
 			}
-			if s.place.Count(inst.key.svc)-perSvc[inst.key.svc] <= floor {
+			if len(s.nodesOf(inst.key.svc)) <= floor {
 				continue
 			}
 			if !s.place.Has(inst.key.svc, inst.key.node) {
 				continue
 			}
 			s.removeInstance(inst.key.svc, inst.key.node)
-			perSvc[inst.key.svc]++
 			res.Combined++
 			removedAny = true
 		}
@@ -448,7 +691,7 @@ func (s *state) serialPhase(cfg Config, res *Result) {
 			return
 		}
 		qBefore := s.starObjective()
-		snap := s.snapshot()
+		s.saveSnapshot(res)
 		s.removeInstance(inst.key.svc, inst.key.node)
 		res.SerialRounds++
 
@@ -466,7 +709,7 @@ func (s *state) serialPhase(cfg Config, res *Result) {
 		// storage migrations this step performed — so a rolled-back step
 		// never leaves residual deadline damage.
 		if s.deadlineViolated() {
-			s.restore(snap)
+			s.restoreSnapshot(res)
 			s.frozen[inst.key] = true // never combine this instance again
 			res.RolledBack++
 			continue
@@ -476,43 +719,107 @@ func (s *state) serialPhase(cfg Config, res *Result) {
 		delta := qBefore - qAfter + cfg.Theta
 		if delta <= 0 {
 			// Objective rose beyond the disturbance: revert and stop.
-			s.restore(snap)
+			s.restoreSnapshot(res)
 			return
 		}
 		res.Combined++
 	}
 }
 
-// snapshot captures placement, reliances and cost for a full step undo.
+// snapState captures placement, reliances, cost, the frozen set and the
+// migration counter for a full step undo. The frozen set must round-trip
+// because the step's storage planning may migrate() a frozen instance away
+// (un-freezing it); a rolled-back step must neither leak that deletion nor
+// keep counting its undone migrations. Cached routes are struct-copied:
+// their node slices are immutable once published (re-routes install fresh
+// slices), so sharing them with the snapshot is safe.
+//
+// The buffers live on state.snap and are reused round over round — at most
+// one snapshot is live at a time, and a restore copies contents back into
+// the live structures rather than swapping slice headers, so the serial
+// loop runs allocation-free.
 type snapState struct {
-	place model.Placement
-	rel   [][]int
-	cost  float64
+	place    model.Placement
+	rel      [][]int
+	cost     float64
+	frozen   map[instKey]bool
+	migrated int
+	routes   []cachedRoute
 }
 
-func (s *state) snapshot() snapState {
-	rel := make([][]int, len(s.rel))
-	for h := range s.rel {
-		rel[h] = append([]int(nil), s.rel[h]...)
+func (s *state) saveSnapshot(res *Result) {
+	sn := &s.snap
+	if sn.place.X == nil {
+		sn.place = s.place.Clone()
+		sn.rel = make([][]int, len(s.rel))
+		for h := range s.rel {
+			sn.rel[h] = append([]int(nil), s.rel[h]...)
+		}
+		sn.frozen = make(map[instKey]bool, len(s.frozen))
+		if s.routes != nil {
+			sn.routes = make([]cachedRoute, len(s.routes))
+		}
+	} else {
+		for i := range s.place.X {
+			copy(sn.place.X[i], s.place.X[i])
+		}
+		for h := range s.rel {
+			copy(sn.rel[h], s.rel[h])
+		}
+		clear(sn.frozen)
 	}
-	return snapState{place: s.place.Clone(), rel: rel, cost: s.cost}
+	for k, v := range s.frozen {
+		sn.frozen[k] = v
+	}
+	sn.cost = s.cost
+	sn.migrated = res.Migrated
+	if s.routes != nil {
+		copy(sn.routes, s.routes)
+	}
 }
 
-func (s *state) restore(sn snapState) {
-	s.place = sn.place
-	s.rel = sn.rel
+func (s *state) restoreSnapshot(res *Result) {
+	sn := &s.snap
+	for i := range s.place.X {
+		copy(s.place.X[i], sn.place.X[i])
+	}
+	for h := range s.rel {
+		copy(s.rel[h], sn.rel[h])
+	}
 	s.cost = sn.cost
+	clear(s.frozen)
+	for k, v := range sn.frozen {
+		s.frozen[k] = v
+	}
+	res.Migrated = sn.migrated
+	if s.idx != nil {
+		s.idx.Rebind(s.place) // contents changed in place: invalidate all
+		s.rebuildRelianceIndex()
+		copy(s.routes, sn.routes)
+	}
 }
 
-// deadlineViolated checks constraint (4) under exact optimal routing.
+// deadlineViolated checks constraint (4) under exact optimal routing. A
+// request whose chain lost its last instance is served by the cloud
+// fallback when one exists — mirroring the evaluator — and violates only
+// if the cloud completion time misses the deadline.
 func (s *state) deadlineViolated() bool {
+	if s.routes != nil {
+		return s.deadlineViolatedIncremental()
+	}
 	for h := range s.in.Workload.Requests {
 		req := &s.in.Workload.Requests[h]
 		if math.IsInf(req.Deadline, 1) {
 			continue
 		}
 		_, d, err := s.in.RouteOptimal(req, s.place)
-		if err != nil || d > req.Deadline+1e-9 {
+		if err != nil {
+			if s.in.Cloud == nil {
+				return true
+			}
+			d = s.in.Cloud.CloudCompletionTime(s.in.Workload.Catalog, req)
+		}
+		if d > req.Deadline+1e-9 {
 			return true
 		}
 	}
@@ -528,7 +835,7 @@ func (s *state) storagePlanning(res *Result) bool {
 	in := s.in
 	totalNeed := 0.0
 	for i := 0; i < in.M(); i++ {
-		totalNeed += float64(s.place.Count(i)) * in.Workload.Catalog.Service(i).Storage
+		totalNeed += float64(len(s.nodesOf(i))) * in.Workload.Catalog.Service(i).Storage
 	}
 	if totalNeed > in.Graph.TotalStorage()+1e-9 {
 		return false
@@ -569,12 +876,35 @@ func (s *state) lowestPriorityService(k int) int {
 
 // localDemandFactor computes ρ_{v_k}^{m_i} by FuzzyAHP-weighted criteria:
 // requesting users, chain-order factor ℝ, deployment cost, and (inverted)
-// storage footprint. Higher ρ means higher keep-priority.
+// storage footprint. Higher ρ means higher keep-priority. ρ depends only on
+// the workload — never on the placement — so values are memoized for the
+// lifetime of the run.
 func (s *state) localDemandFactor(svc, k int) float64 {
+	if s.rhoCache == nil {
+		return s.computeDemandFactor(svc, k)
+	}
+	if rho := s.rhoCache[svc][k]; !math.IsNaN(rho) {
+		return rho
+	}
+	rho := s.computeDemandFactor(svc, k)
+	s.rhoCache[svc][k] = rho
+	return rho
+}
+
+// demandCount reads the precomputed demand table, falling back to the
+// workload scan for hand-assembled states.
+func (s *state) demandCount(k, svc int) int {
+	if s.demandTab != nil {
+		return s.demandTab[svc][k]
+	}
+	return s.in.Workload.DemandCount(k, svc)
+}
+
+func (s *state) computeDemandFactor(svc, k int) float64 {
 	in := s.in
 	cat := in.Workload.Catalog
 
-	users := float64(in.Workload.DemandCount(k, svc))
+	users := float64(s.demandCount(k, svc))
 	var uf, ul, um float64
 	for h := range in.Workload.Requests {
 		req := &in.Workload.Requests[h]
@@ -599,7 +929,7 @@ func (s *state) localDemandFactor(svc, k int) float64 {
 	// service, max κ, max φ across the catalog.
 	maxUsers := 1.0
 	for q := 0; q < in.V(); q++ {
-		if u := float64(in.Workload.DemandCount(q, svc)); u > maxUsers {
+		if u := float64(s.demandCount(q, svc)); u > maxUsers {
 			maxUsers = u
 		}
 	}
@@ -653,13 +983,28 @@ func (s *state) migrate(svc, k int, res *Result) bool {
 			continue
 		}
 		// Move: deployment cost is unchanged (one instance either way).
-		s.place.Set(svc, k, false)
-		s.place.Set(svc, c.q, true)
-		for h := range s.rel {
-			req := &in.Workload.Requests[h]
-			for t, node := range s.rel[h] {
-				if node == k && req.Chain[t] == svc {
-					s.rel[h][t] = s.pickReliance(h, t, -1)
+		s.setPlace(svc, k, false)
+		s.setPlace(svc, c.q, true)
+		delete(s.zetaCache, svc)
+		if s.relyIdx != nil {
+			// The added instance at c.q can improve any route over svc, so
+			// the whole service is invalidated (invariant 3, addition case).
+			s.invalidateRoutesService(svc)
+			moved := s.relyIdx[instKey{svc, k}]
+			delete(s.relyIdx, instKey{svc, k})
+			for _, ht := range moved {
+				h, t := ht[0], ht[1]
+				nk := s.pickReliance(h, t, -1)
+				s.rel[h][t] = nk
+				s.relyAdd(svc, nk, h, t)
+			}
+		} else {
+			for h := range s.rel {
+				req := &in.Workload.Requests[h]
+				for t, node := range s.rel[h] {
+					if node == k && req.Chain[t] == svc {
+						s.rel[h][t] = s.pickReliance(h, t, -1)
+					}
 				}
 			}
 		}

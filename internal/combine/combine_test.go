@@ -197,6 +197,7 @@ func TestZetaInfinityForLastReachableInstance(t *testing.T) {
 	in, part, pre := buildInstance(8, 20, 9, 1e6)
 	s := &state{in: in, part: part, place: pre.Clone(), frozen: map[instKey]bool{}}
 	s.cost = in.DeployCost(s.place)
+	s.buildStaticTables()
 	s.initReliance()
 	list := s.updateInstanceSet()
 	for _, it := range list {

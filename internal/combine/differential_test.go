@@ -1,0 +1,116 @@
+package combine
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/partition"
+	"repro/internal/preprov"
+	"repro/internal/topology"
+)
+
+// assertRunsIdentical runs the combination twice — incremental engine on and
+// off — and asserts bit-identical placements and statistics.
+func assertRunsIdentical(t *testing.T, label string, in1, in2 *model.Instance,
+	part1, part2 *partition.Result, pre1, pre2 model.Placement, cfg Config) {
+	t.Helper()
+	cfgNaive := cfg
+	cfgNaive.Naive = true
+	inc := Run(in1, part1, pre1, cfg)
+	naive := Run(in2, part2, pre2, cfgNaive)
+
+	for i := range inc.Placement.X {
+		for k := range inc.Placement.X[i] {
+			if inc.Placement.Has(i, k) != naive.Placement.Has(i, k) {
+				t.Fatalf("%s: placement diverges at service %d node %d (incremental=%v)",
+					label, i, k, inc.Placement.Has(i, k))
+			}
+		}
+	}
+	if inc.BudgetMet != naive.BudgetMet ||
+		inc.Combined != naive.Combined ||
+		inc.RolledBack != naive.RolledBack ||
+		inc.Migrated != naive.Migrated ||
+		inc.ParallelRounds != naive.ParallelRounds ||
+		inc.SerialRounds != naive.SerialRounds {
+		t.Fatalf("%s: stats diverge:\nincremental %+v\nnaive       %+v", label, inc, naive)
+	}
+	if naive.RouteCacheHits != 0 || naive.RouteRecomputed != 0 {
+		t.Fatalf("%s: naive run reported cache telemetry %d/%d",
+			label, naive.RouteCacheHits, naive.RouteRecomputed)
+	}
+}
+
+// TestIncrementalMatchesNaive is the engine's differential proof: across
+// seeded random instances — tight budgets (parallel phase active), generous
+// budgets (serial phase dominant), tight deadlines (roll-backs + frozen
+// churn), cloud fallback on and off — deadlineViolated, ζ and the reliance
+// maintenance must reproduce the naive full-rescan results bit for bit.
+func TestIncrementalMatchesNaive(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		in1, part1, pre1 := buildInstance(10, 40, seed, 6500)
+		in2, part2, pre2 := buildInstance(10, 40, seed, 6500)
+		assertRunsIdentical(t, "tight budget", in1, in2, part1, part2, pre1, pre2, DefaultConfig())
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		in1, part1, pre1 := buildInstance(9, 35, seed, 1e6)
+		in2, part2, pre2 := buildInstance(9, 35, seed, 1e6)
+		assertRunsIdentical(t, "serial-dominant", in1, in2, part1, part2, pre1, pre2, DefaultConfig())
+	}
+	// Cloud fallback: floor drops to zero, last instances may be absorbed.
+	for seed := int64(1); seed <= 5; seed++ {
+		in1, part1, pre1 := buildInstance(8, 30, seed, 5000)
+		in2, part2, pre2 := buildInstance(8, 30, seed, 5000)
+		cc := model.DefaultCloudConfig()
+		in1.Cloud = &cc
+		in2.Cloud = &cc
+		assertRunsIdentical(t, "cloud fallback", in1, in2, part1, part2, pre1, pre2, DefaultConfig())
+	}
+}
+
+// TestIncrementalMatchesNaiveUnderRollbacks squeezes deadlines to just above
+// the pre-provisioned latencies so the serial phase constantly rolls back,
+// exercising snapshot/restore of the route cache, reliance index and frozen
+// set.
+func TestIncrementalMatchesNaiveUnderRollbacks(t *testing.T) {
+	build := func(seed int64) (*model.Instance, *partition.Result, model.Placement) {
+		gcfg := topology.DefaultGenConfig()
+		g := topology.RandomGeometric(10, 0.35, gcfg, seed)
+		cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+		w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(30), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e6}
+		part := partition.Build(in, partition.DefaultConfig())
+		pre := preprov.Run(in, part).Placement
+		ev := in.Evaluate(pre)
+		for h := range in.Workload.Requests {
+			in.Workload.Requests[h].Deadline = ev.Latencies[h] * 1.02
+		}
+		return in, part, pre
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		in1, part1, pre1 := build(seed)
+		in2, part2, pre2 := build(seed)
+		assertRunsIdentical(t, "rollback-heavy", in1, in2, part1, part2, pre1, pre2, DefaultConfig())
+	}
+}
+
+// TestIncrementalCacheTelemetry asserts the engine actually reuses routes:
+// on a serial-dominant run the cache-hit count must dwarf recomputes.
+func TestIncrementalCacheTelemetry(t *testing.T) {
+	in, part, pre := buildInstance(10, 60, 2, 1e6)
+	res := Run(in, part, pre, DefaultConfig())
+	if res.SerialRounds == 0 {
+		t.Skip("no serial rounds on this instance")
+	}
+	if res.RouteRecomputed == 0 && res.RouteCacheHits == 0 {
+		t.Fatal("incremental run reported no routing telemetry")
+	}
+	if res.RouteCacheHits <= res.RouteRecomputed {
+		t.Fatalf("cache ineffective: %d hits vs %d recomputes",
+			res.RouteCacheHits, res.RouteRecomputed)
+	}
+}

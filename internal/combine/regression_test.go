@@ -1,0 +1,167 @@
+package combine
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/partition"
+	"repro/internal/topology"
+)
+
+// TestParallelBatchRemovesMultipleInstancesOfOneService pins the floor-guard
+// fix in parallelPhase: a single ω-batch containing several instances of the
+// same service must be allowed to remove all but the last one. The earlier
+// revision subtracted a per-service removal tally from the live count, double
+// counting each removal and skipping legal ones — forcing extra rounds.
+func TestParallelBatchRemovesMultipleInstancesOfOneService(t *testing.T) {
+	cat := msvc.NewCatalog()
+	svc, err := cat.Add("solo", 100, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddFlow([]msvc.ServiceID{svc}); err != nil {
+		t.Fatal(err)
+	}
+	g := topology.RandomGeometric(6, 0.9, topology.DefaultGenConfig(), 11)
+	w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(12), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three instances at cost 300 against a budget of 100: exactly two
+	// removals are needed, and with ω=1 the whole list is one batch.
+	in := &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 100}
+	part := partition.Build(in, partition.DefaultConfig())
+	pre := model.NewPlacement(in.M(), in.V())
+	for k := 0; k < 3; k++ {
+		pre.Set(svc, k, true)
+	}
+
+	for _, naive := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.Omega = 1
+		cfg.Naive = naive
+		res := Run(in, part, pre, cfg)
+		if !res.BudgetMet {
+			t.Fatalf("naive=%v: budget not met", naive)
+		}
+		if res.Placement.Count(svc) != 1 {
+			t.Fatalf("naive=%v: %d instances survive, want 1", naive, res.Placement.Count(svc))
+		}
+		if res.Combined != 2 {
+			t.Fatalf("naive=%v: Combined = %d, want 2", naive, res.Combined)
+		}
+		// The double-counting bug needed a second round for the second
+		// removal; the fixed guard completes the batch in one.
+		if res.ParallelRounds != 1 {
+			t.Fatalf("naive=%v: ParallelRounds = %d, want 1", naive, res.ParallelRounds)
+		}
+	}
+}
+
+// TestRollbackRestoresFrozenAndMigrated pins the snapshot fix: migrate()
+// un-freezes the moved instance and bumps res.Migrated, so a step that is
+// rolled back must restore both — the earlier restore() leaked the frozen
+// deletion (the instance became combinable again) and kept counting the
+// undone migration.
+func TestRollbackRestoresFrozenAndMigrated(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		in, part, pre := buildInstance(8, 20, 10, 1e6)
+		s := &state{in: in, part: part, place: pre.Clone(), frozen: map[instKey]bool{}}
+		s.cost = in.DeployCost(s.place)
+		s.buildStaticTables()
+		s.initReliance()
+		if !naive {
+			s.initIncremental()
+		}
+
+		res := &Result{Migrated: 3} // pre-existing migrations must survive
+		migrated := false
+		for _, svc := range in.Workload.ServicesUsed() {
+			for _, k := range append([]int(nil), s.nodesOf(svc)...) {
+				key := instKey{svc, k}
+				s.frozen[key] = true
+				s.saveSnapshot(res)
+				// migrate mutates nothing when it fails, so probing is safe.
+				if !s.migrate(svc, k, res) {
+					delete(s.frozen, key)
+					continue
+				}
+				migrated = true
+				if s.frozen[key] {
+					t.Fatalf("naive=%v: migrate left %v frozen", naive, key)
+				}
+				if res.Migrated != 4 {
+					t.Fatalf("naive=%v: Migrated = %d after migrate, want 4", naive, res.Migrated)
+				}
+				s.restoreSnapshot(res)
+				if !s.frozen[key] {
+					t.Fatalf("naive=%v: rollback leaked frozen entry %v", naive, key)
+				}
+				if res.Migrated != 3 {
+					t.Fatalf("naive=%v: Migrated = %d after rollback, want 3", naive, res.Migrated)
+				}
+				if !s.place.Has(svc, k) {
+					t.Fatalf("naive=%v: rollback did not restore instance (%d,%d)", naive, svc, k)
+				}
+				for i := range pre.X {
+					for n := range pre.X[i] {
+						if s.place.Has(i, n) != pre.Has(i, n) {
+							t.Fatalf("naive=%v: placement differs from snapshot at (%d,%d)", naive, i, n)
+						}
+					}
+				}
+				break
+			}
+			if migrated {
+				break
+			}
+		}
+		if !migrated {
+			t.Fatalf("naive=%v: no migratable instance found", naive)
+		}
+	}
+}
+
+// TestDeadlineCheckUsesCloudFallback pins the dead cloud-absorption fix:
+// when a request's chain has lost its last instance, deadlineViolated must
+// fall back to the cloud completion time instead of treating ErrNoInstance
+// as an instant violation — otherwise the serial phase can never absorb a
+// last instance into the cloud and rolls back forever.
+func TestDeadlineCheckUsesCloudFallback(t *testing.T) {
+	for _, naive := range []bool{false, true} {
+		in, part, pre := buildInstance(8, 20, 12, 1e6)
+		cc := model.DefaultCloudConfig()
+		in.Cloud = &cc
+		// Finite but generous deadlines: the check must actually run and
+		// must pass via the cloud path.
+		for h := range in.Workload.Requests {
+			in.Workload.Requests[h].Deadline = 1e12
+		}
+		s := &state{in: in, part: part, place: pre.Clone(), frozen: map[instKey]bool{}}
+		s.cost = in.DeployCost(s.place)
+		s.buildStaticTables()
+		s.initReliance()
+		if !naive {
+			s.initIncremental()
+		}
+
+		svc := in.Workload.Requests[0].Chain[0]
+		for _, k := range append([]int(nil), s.nodesOf(svc)...) {
+			s.removeInstance(svc, k)
+		}
+		if s.place.Count(svc) != 0 {
+			t.Fatalf("naive=%v: service %d not fully removed", naive, svc)
+		}
+		if s.deadlineViolated() {
+			t.Fatalf("naive=%v: cloud-served request flagged as violation", naive)
+		}
+		// Shrink one affected deadline below its cloud completion time: now
+		// the same cloud path must report the violation.
+		req := &in.Workload.Requests[0]
+		req.Deadline = in.Cloud.CloudCompletionTime(in.Workload.Catalog, req) * 0.5
+		if !s.deadlineViolated() {
+			t.Fatalf("naive=%v: missed cloud deadline not flagged", naive)
+		}
+	}
+}

@@ -54,6 +54,11 @@ type Stats struct {
 	RolledBack       int  // deadline roll-backs
 	Migrated         int  // storage migrations
 	BudgetMet        bool // parallel phase reached Σ𝒦 ≤ 𝒦^max
+
+	// Incremental routing-engine telemetry (zero with combine.Config.Naive):
+	// deadline checks served from the per-request route cache vs re-routed.
+	RouteCacheHits  int
+	RouteRecomputed int
 }
 
 // Solution is the complete output of a SoCL run.
@@ -94,6 +99,8 @@ func Solve(in *model.Instance, cfg Config) (*Solution, error) {
 	sol.Stats.RolledBack = comb.RolledBack
 	sol.Stats.Migrated = comb.Migrated
 	sol.Stats.BudgetMet = comb.BudgetMet
+	sol.Stats.RouteCacheHits = comb.RouteCacheHits
+	sol.Stats.RouteRecomputed = comb.RouteRecomputed
 	sol.Stats.Total = time.Since(start)
 
 	sol.Evaluation = in.Evaluate(sol.Placement)

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/combine"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/partition"
+	"repro/internal/preprov"
+	"repro/internal/topology"
+)
+
+// ExtCombineBench measures the incremental routing engine against the naive
+// full-rescan combination it replaces, across problem scales. Both modes run
+// on identical inputs; the engine must reproduce the naive placement bit for
+// bit (the "identical" column re-checks it outside the unit tests), so the
+// only difference is wall-clock and the cache telemetry. Deadlines are kept
+// finite — unlike the figure sweeps — because the exact per-round deadline
+// check is precisely the path the route cache accelerates.
+func ExtCombineBench(opts Options) *Table {
+	scales := []struct{ nodes, users int }{{10, 60}, {15, 120}, {25, 250}}
+	reps := 3
+	if opts.Short {
+		scales = []struct{ nodes, users int }{{8, 30}, {10, 60}}
+		reps = 1
+	}
+	t := &Table{
+		ID:    "ext_combinebench",
+		Title: "Incremental vs naive combination engine",
+		Header: []string{"nodes", "users", "naive_s", "incremental_s", "speedup",
+			"cache_hits", "recomputed", "identical"},
+	}
+	for _, sc := range scales {
+		g := topology.RandomGeometric(sc.nodes, 0.35, topology.DefaultGenConfig(), opts.Seed)
+		cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), opts.Seed)
+		w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(sc.users), opts.Seed)
+		if err != nil {
+			panic(err) // static configuration; cannot fail for valid sizes
+		}
+		// A generous budget keeps the serial descent — the engine's hot
+		// path — running until the objective gradient stops it.
+		in := &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e9}
+		part := partition.Build(in, partition.DefaultConfig())
+		pre := preprov.Run(in, part).Placement
+
+		run := func(cfg combine.Config) (combine.Result, time.Duration) {
+			var res combine.Result
+			best := time.Duration(1<<63 - 1)
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				res = combine.Run(in, part, pre, cfg)
+				if d := time.Since(t0); d < best {
+					best = d
+				}
+			}
+			return res, best
+		}
+		naiveCfg := combine.DefaultConfig()
+		naiveCfg.Naive = true
+		resN, durN := run(naiveCfg)
+		resI, durI := run(combine.DefaultConfig())
+
+		identical := "yes"
+		for i := range resI.Placement.X {
+			for k := range resI.Placement.X[i] {
+				if resI.Placement.Has(i, k) != resN.Placement.Has(i, k) {
+					identical = "no"
+				}
+			}
+		}
+		t.AddRow(itoa(sc.nodes), itoa(sc.users), sec(durN), sec(durI),
+			f1(durN.Seconds()/durI.Seconds()), itoa(resI.RouteCacheHits),
+			itoa(resI.RouteRecomputed), identical)
+	}
+	return t
+}

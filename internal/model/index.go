@@ -1,0 +1,133 @@
+package model
+
+// PlacementIndex wraps a Placement with cached per-service candidate node
+// lists and reusable routing scratch space. It is the read side of the
+// incremental routing engine: Placement.NodesOf allocates and scans the full
+// node row on every call, which dominates the combine hot path where the
+// same candidate lists are consulted thousands of times between mutations.
+// The index rebuilds a service's list lazily after a mutation through Set
+// (or a wholesale Rebind), so unchanged services cost a slice read.
+//
+// Concurrency: NodesOf lazily rebuilds dirty entries, so concurrent readers
+// must call Prewarm first (or otherwise guarantee no entry is dirty); after
+// that, reads are safe from any number of goroutines as long as no mutation
+// runs. Returned slices are owned by the index: they are valid until the
+// service's next invalidation and must not be modified.
+type PlacementIndex struct {
+	p     Placement
+	nodes [][]int
+	dirty []bool
+}
+
+// NewPlacementIndex builds an index over p. The index aliases p's backing
+// arrays: mutations must go through the index's Set (or be followed by
+// Rebind) so the cache stays coherent.
+func NewPlacementIndex(p Placement) *PlacementIndex {
+	m := len(p.X)
+	ix := &PlacementIndex{
+		p:     p,
+		nodes: make([][]int, m),
+		dirty: make([]bool, m),
+	}
+	for i := range ix.dirty {
+		ix.dirty[i] = true
+	}
+	return ix
+}
+
+// Placement returns the underlying placement.
+func (ix *PlacementIndex) Placement() Placement { return ix.p }
+
+// Rebind points the index at a (possibly different) placement and
+// invalidates every cached list. Used after snapshot restores, where the
+// placement is replaced wholesale.
+func (ix *PlacementIndex) Rebind(p Placement) {
+	ix.p = p
+	if len(p.X) != len(ix.nodes) {
+		ix.nodes = make([][]int, len(p.X))
+		ix.dirty = make([]bool, len(p.X))
+	}
+	for i := range ix.dirty {
+		ix.dirty[i] = true
+	}
+}
+
+// Set deploys (or removes) service i on node k and invalidates i's list.
+func (ix *PlacementIndex) Set(i, k int, val bool) {
+	ix.p.X[i][k] = val
+	ix.dirty[i] = true
+}
+
+// Has reports whether service i is deployed on node k.
+func (ix *PlacementIndex) Has(i, k int) bool { return ix.p.X[i][k] }
+
+// Count returns the number of instances of service i.
+func (ix *PlacementIndex) Count(i int) int { return len(ix.NodesOf(i)) }
+
+// NodesOf returns the nodes hosting service i, ascending. The slice is
+// cached: it is reused across calls and only rebuilt after i was mutated.
+func (ix *PlacementIndex) NodesOf(i int) []int {
+	if ix.dirty[i] {
+		out := ix.nodes[i][:0]
+		for k, on := range ix.p.X[i] {
+			if on {
+				out = append(out, k)
+			}
+		}
+		ix.nodes[i] = out
+		ix.dirty[i] = false
+	}
+	return ix.nodes[i]
+}
+
+// Prewarm rebuilds every dirty list so subsequent NodesOf calls are
+// read-only — required before sharing the index across goroutines.
+func (ix *PlacementIndex) Prewarm() {
+	for i := range ix.dirty {
+		ix.NodesOf(i)
+	}
+}
+
+// RouteScratch holds the dynamic-programming buffers of RouteOptimal so
+// repeated routing calls (one per request per combine round) reuse memory
+// instead of allocating O(L·|V|) per call. A scratch is single-goroutine:
+// parallel routing fan-outs allocate one per worker.
+type RouteScratch struct {
+	cost, next []float64
+	back       [][]int
+	layers     [][]int
+}
+
+func (sc *RouteScratch) floats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func (sc *RouteScratch) backRow(t, n int) []int {
+	for len(sc.back) <= t {
+		sc.back = append(sc.back, nil)
+	}
+	if cap(sc.back[t]) < n {
+		sc.back[t] = make([]int, n)
+	}
+	sc.back[t] = sc.back[t][:n]
+	return sc.back[t]
+}
+
+func (sc *RouteScratch) layerBuf(n int) [][]int {
+	if cap(sc.layers) < n {
+		sc.layers = make([][]int, n)
+	}
+	sc.layers = sc.layers[:n]
+	return sc.layers
+}
+
+// nodeLister abstracts the candidate-node source of the routing routines:
+// either a raw Placement (allocating scan, the naive path) or a
+// PlacementIndex (cached lists, the incremental path). Both return the
+// hosting nodes ascending, so the two paths are bit-identical.
+type nodeLister interface {
+	NodesOf(i int) []int
+}

@@ -223,29 +223,60 @@ func (in *Instance) CompletionTime(req *msvc.Request, a Assignment) (float64, er
 // placement p by dynamic programming over chain layers (O(L·|V|²)).
 // It returns ErrNoInstance if some chain step has no instance.
 func (in *Instance) RouteOptimal(req *msvc.Request, p Placement) (Assignment, float64, error) {
+	return in.routeOptimal(req, p, nil)
+}
+
+// RouteOptimalIndexed is RouteOptimal over a PlacementIndex: candidate
+// layers come from the index's cached lists and the DP buffers are reused
+// from sc (pass nil to allocate fresh). Results are bit-identical to
+// RouteOptimal on the index's placement.
+func (in *Instance) RouteOptimalIndexed(req *msvc.Request, ix *PlacementIndex, sc *RouteScratch) (Assignment, float64, error) {
+	return in.routeOptimal(req, ix, sc)
+}
+
+func (in *Instance) routeOptimal(req *msvc.Request, cand nodeLister, sc *RouteScratch) (Assignment, float64, error) {
 	g := in.Graph
 	cat := in.Workload.Catalog
 	L := len(req.Chain)
 
 	// Candidate layers.
-	layers := make([][]int, L)
+	var layers [][]int
+	if sc != nil {
+		layers = sc.layerBuf(L)
+	} else {
+		layers = make([][]int, L)
+	}
 	for t, s := range req.Chain {
-		layers[t] = p.NodesOf(s)
+		layers[t] = cand.NodesOf(s)
 		if len(layers[t]) == 0 {
 			return Assignment{}, 0, ErrNoInstance{Request: req.ID, Service: s}
 		}
 	}
 
 	// DP forward pass.
-	cost := make([]float64, len(layers[0]))
-	back := make([][]int, L)
+	var cost []float64
+	var back [][]int
+	if sc != nil {
+		cost = sc.floats(&sc.cost, len(layers[0]))
+	} else {
+		cost = make([]float64, len(layers[0]))
+		back = make([][]int, L)
+	}
 	for j, k := range layers[0] {
 		cost[j] = g.TransferTime(req.Home, k, req.DataIn) +
 			cat.Service(req.Chain[0]).Compute/g.Node(k).Compute
 	}
 	for t := 1; t < L; t++ {
-		next := make([]float64, len(layers[t]))
-		back[t] = make([]int, len(layers[t]))
+		var next []float64
+		var backT []int
+		if sc != nil {
+			next = sc.floats(&sc.next, len(layers[t]))
+			backT = sc.backRow(t, len(layers[t]))
+		} else {
+			next = make([]float64, len(layers[t]))
+			back[t] = make([]int, len(layers[t]))
+			backT = back[t]
+		}
 		for j, k := range layers[t] {
 			best, bestArg := math.Inf(1), -1
 			for pj, pk := range layers[t-1] {
@@ -255,9 +286,14 @@ func (in *Instance) RouteOptimal(req *msvc.Request, p Placement) (Assignment, fl
 				}
 			}
 			next[j] = best + cat.Service(req.Chain[t]).Compute/g.Node(k).Compute
-			back[t][j] = bestArg
+			backT[j] = bestArg
 		}
-		cost = next
+		if sc != nil {
+			sc.cost, sc.next = sc.next, sc.cost
+			cost = next
+		} else {
+			cost = next
+		}
 	}
 
 	// Terminal: add d_out and pick the best final node.
@@ -273,13 +309,18 @@ func (in *Instance) RouteOptimal(req *msvc.Request, p Placement) (Assignment, fl
 		return Assignment{}, math.Inf(1), nil
 	}
 
-	// Backtrack.
+	// Backtrack. The Nodes slice is freshly allocated either way: callers
+	// cache returned assignments beyond the next routing call.
 	nodes := make([]int, L)
 	j := bestArg
 	for t := L - 1; t >= 0; t-- {
 		nodes[t] = layers[t][j]
 		if t > 0 {
-			j = back[t][j]
+			if sc != nil {
+				j = sc.back[t][j]
+			} else {
+				j = back[t][j]
+			}
 		}
 	}
 	return Assignment{Nodes: nodes}, best, nil
@@ -289,11 +330,21 @@ func (in *Instance) RouteOptimal(req *msvc.Request, p Placement) (Assignment, fl
 // virtual link from the previous location (nearest-instance routing). Used
 // as the ablation counterpart of RouteOptimal.
 func (in *Instance) RouteGreedy(req *msvc.Request, p Placement) (Assignment, float64, error) {
+	return in.routeGreedy(req, p)
+}
+
+// RouteGreedyIndexed is RouteGreedy over a PlacementIndex's cached
+// candidate lists.
+func (in *Instance) RouteGreedyIndexed(req *msvc.Request, ix *PlacementIndex) (Assignment, float64, error) {
+	return in.routeGreedy(req, ix)
+}
+
+func (in *Instance) routeGreedy(req *msvc.Request, cand nodeLister) (Assignment, float64, error) {
 	g := in.Graph
 	nodes := make([]int, len(req.Chain))
 	prev := req.Home
 	for t, s := range req.Chain {
-		cands := p.NodesOf(s)
+		cands := cand.NodesOf(s)
 		if len(cands) == 0 {
 			return Assignment{}, 0, ErrNoInstance{Request: req.ID, Service: s}
 		}
@@ -341,9 +392,13 @@ func (m RoutingMode) String() string {
 // the routing policy of the RP baseline. The rng must be supplied so runs
 // stay reproducible.
 func (in *Instance) RouteRandom(req *msvc.Request, p Placement, r *rand.Rand) (Assignment, float64, error) {
+	return in.routeRandom(req, p, r)
+}
+
+func (in *Instance) routeRandom(req *msvc.Request, cand nodeLister, r *rand.Rand) (Assignment, float64, error) {
 	nodes := make([]int, len(req.Chain))
 	for t, s := range req.Chain {
-		cands := p.NodesOf(s)
+		cands := cand.NodesOf(s)
 		if len(cands) == 0 {
 			return Assignment{}, 0, ErrNoInstance{Request: req.ID, Service: s}
 		}
@@ -407,9 +462,15 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 	}
 	ev.OverBudget = !in.CheckBudget(p)
 
+	// One prewarmed index serves every request: candidate lists are built
+	// once per service instead of once per (request, step), and the prewarm
+	// makes concurrent reads race-free.
+	ix := NewPlacementIndex(p)
+	ix.Prewarm()
+
 	// routeOne returns flags: missing instance, deadline violated, cloud
-	// fallback used.
-	routeOne := func(h int) (missing, late, cloud bool) {
+	// fallback used. sc is the calling worker's DP scratch.
+	routeOne := func(h int, sc *RouteScratch) (missing, late, cloud bool) {
 		req := &reqs[h]
 		var (
 			a   Assignment
@@ -418,13 +479,13 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 		)
 		switch mode {
 		case RouteModeGreedy:
-			a, d, err = in.RouteGreedy(req, p)
+			a, d, err = in.routeGreedy(req, ix)
 		case RouteModeRandom:
 			// Independent per-request stream keeps parallel == serial.
 			rng := rand.New(rand.NewSource(seed + int64(h)*0x9e3779b9))
-			a, d, err = in.RouteRandom(req, p, rng)
+			a, d, err = in.routeRandom(req, ix, rng)
 		default:
-			a, d, err = in.RouteOptimal(req, p)
+			a, d, err = in.routeOptimal(req, ix, sc)
 		}
 		if err != nil {
 			if in.Cloud != nil {
@@ -441,8 +502,9 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 	}
 
 	if len(reqs) < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
+		sc := &RouteScratch{}
 		for h := range reqs {
-			missing, late, cloud := routeOne(h)
+			missing, late, cloud := routeOne(h, sc)
 			if missing {
 				ev.MissingInstances++
 			}
@@ -470,9 +532,10 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				sc := &RouteScratch{}
 				var localMissing, localLate, localCloud int64
 				for h := lo; h < hi; h++ {
-					missing, late, cloud := routeOne(h)
+					missing, late, cloud := routeOne(h, sc)
 					if missing {
 						localMissing++
 					}

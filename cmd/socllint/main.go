@@ -1,0 +1,219 @@
+// Command socllint is the project's multichecker: it runs the five
+// repo-specific analyzers from internal/analysis over the requested packages
+// and, unless -vet=false, chains the standard `go vet` passes behind them.
+//
+// Usage:
+//
+//	go run ./cmd/socllint ./...
+//	go run ./cmd/socllint -vet=false ./internal/combine ./internal/model
+//
+// Diagnostics print as file:line:col: [analyzer] message. Intentional
+// violations are suppressed with a reasoned directive on the offending line
+// or the line above:
+//
+//	//socllint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// The process exits 1 when any diagnostic survives suppression (or go vet
+// fails), 0 otherwise.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/placementmut"
+	"repro/internal/analysis/sentinelerr"
+	"repro/internal/analysis/snapshotpair"
+)
+
+var analyzers = []*analysis.Analyzer{
+	placementmut.Analyzer,
+	snapshotpair.Analyzer,
+	floateq.Analyzer,
+	sentinelerr.Analyzer,
+	detrand.Analyzer,
+}
+
+func main() {
+	vet := flag.Bool("vet", true, "also run `go vet` over the same patterns")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modDir, modPath, err := findModule()
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := expand(modDir, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	loader := load.New(load.Config{ModulePath: modPath, ModuleDir: modDir})
+	exit := 0
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(modDir, dir)
+		if err != nil {
+			fatal(err)
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			fatal(fmt.Errorf("socllint: %w", err))
+		}
+		diags, err := analysis.Run(pkg.Target(), analyzers, loader.FuncDirectives)
+		if err != nil {
+			fatal(fmt.Errorf("socllint: %s: %w", importPath, err))
+		}
+		for _, d := range diags {
+			pos := d.Position(loader.Fset())
+			file := pos.Filename
+			if r, err := filepath.Rel(modDir, file); err == nil {
+				file = r
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+			exit = 1
+		}
+	}
+
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.Dir = "" // current directory, like the analyzers
+		if err := cmd.Run(); err != nil {
+			var exitErr *exec.ExitError
+			if !errors.As(err, &exitErr) {
+				fatal(fmt.Errorf("socllint: running go vet: %w", err))
+			}
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+// findModule walks up from the working directory to go.mod and returns the
+// module directory and path.
+func findModule() (dir, path string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		modFile := filepath.Join(dir, "go.mod")
+		if f, err := os.Open(modFile); err == nil {
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					f.Close()
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			f.Close()
+			return "", "", fmt.Errorf("socllint: no module line in %s", modFile)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("socllint: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves package patterns to package directories. A trailing /...
+// walks recursively; testdata, vendor, and dot-directories are skipped, as
+// are directories without non-test Go files.
+func expand(modDir string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return
+		}
+		if !seen[abs] && hasBuildableGo(abs) {
+			seen[abs] = true
+			out = append(out, abs)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "" || pat == "." {
+			pat = "."
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Clean(root)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// hasBuildableGo reports whether dir directly contains a non-test Go file.
+func hasBuildableGo(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		return true
+	}
+	return false
+}

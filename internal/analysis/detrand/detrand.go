@@ -1,0 +1,88 @@
+// Package detrand enforces determinism in the reproducibility-critical
+// packages (model, combine, topology, stats): every result there must be a
+// pure function of the instance and an explicit seed.
+//
+// Flagged inside those packages:
+//
+//   - time.Now/Since/Until — wall-clock-dependent values (including
+//     time.Now()-seeded generators) make runs unreproducible;
+//   - package-level math/rand (and math/rand/v2) functions such as
+//     rand.Intn/rand.Float64/rand.Shuffle — they draw from the shared global
+//     source. Constructing explicitly seeded generators via rand.New /
+//     rand.NewSource / rand.NewZipf / rand.NewPCG / rand.NewChaCha8 remains
+//     allowed; *rand.Rand methods are untouched.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "flags time.Now and global math/rand use in the deterministic packages",
+	Run:  run,
+}
+
+// deterministicPkgs are the package names under the determinism contract.
+var deterministicPkgs = map[string]bool{
+	"model":    true,
+	"combine":  true,
+	"topology": true,
+	"stats":    true,
+}
+
+// randConstructors are the math/rand package-level functions that build
+// explicitly seeded generators rather than using the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !deterministicPkgs[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods (e.g. (*rand.Rand).Intn)
+			// have a receiver and are deterministic given their generator.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+					pass.Reportf(call.Pos(),
+						"time.%s in deterministic package %s; thread an explicit timestamp or seed through the caller", fn.Name(), pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global math/rand.%s in deterministic package %s; use an explicitly seeded *rand.Rand", fn.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,44 @@
+// Package model (fixture) exercises detrand inside a deterministic package.
+package model
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global math/rand.Intn in deterministic package model"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global math/rand.Float64 in deterministic package model"
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now in deterministic package model"
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit seed
+}
+
+func drawFrom(r *rand.Rand) int {
+	return r.Intn(10) // ok: method on an injected generator
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle in deterministic package model"
+}
+
+func annotatedNow() int64 {
+	//socllint:ignore detrand fixture: wall time feeds a log line, not a decision
+	return time.Now().Unix()
+}
+
+func elapsedWrong(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package model"
+}
+
+func elapsed(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0) // ok: both endpoints supplied by the caller
+}

@@ -1,0 +1,15 @@
+// Package free is outside the determinism contract: nothing here is flagged.
+package free
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // ok: package not under the determinism contract
+}
+
+func now() time.Time {
+	return time.Now() // ok: package not under the determinism contract
+}

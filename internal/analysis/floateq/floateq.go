@@ -1,0 +1,65 @@
+// Package floateq flags exact ==/!= comparisons between floating-point
+// values.
+//
+// Objective, latency, and ζ values in this repository are accumulated
+// float64 sums; exact equality on them is almost always a bug (the PR-1
+// parallel-phase floor double-count hid behind one). Comparisons belong in an
+// epsilon helper (a function whose name mentions almost/approx/eps/within,
+// e.g. invariant.AlmostEq) or — for the deliberate exact cases, such as
+// deterministic sort tie-breaks where epsilon comparison would break strict
+// weak ordering — under a //socllint:ignore floateq <reason> directive.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on floating-point operands outside epsilon helpers",
+	Run:  run,
+}
+
+// helperRe recognizes epsilon-helper functions by name; their bodies may
+// compare floats exactly.
+var helperRe = regexp.MustCompile(`(?i)(almost|approx|eps|within|ulp)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if helperRe.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pass.TypeOf(be.X)) && isFloat(pass.TypeOf(be.Y)) {
+					pass.Reportf(be.OpPos,
+						"exact %s on floating-point values; use an epsilon helper or annotate the deliberate exact compare", be.Op)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,61 @@
+// Package fl exercises floateq.
+package fl
+
+func compareObjectives(a, b float64) bool {
+	return a == b // want "exact == on floating-point values"
+}
+
+func compareLatencies(a, b float64) bool {
+	if a != b { // want "exact != on floating-point values"
+		return false
+	}
+	return true
+}
+
+func compareF32(a, b float32) bool {
+	return a == b // want "exact == on floating-point values"
+}
+
+type scored struct{ zeta float64 }
+
+func tieBreak(xs []scored) bool {
+	return xs[0].zeta != xs[1].zeta // want "exact != on floating-point values"
+}
+
+func annotatedTieBreak(xs []scored) bool {
+	//socllint:ignore floateq fixture: exact tie-break keeps the sort order strict-weak
+	return xs[0].zeta != xs[1].zeta
+}
+
+func zeroLiteral(a float64) bool {
+	return a == 0 // want "exact == on floating-point values"
+}
+
+// almostEq is an epsilon helper: exact comparison inside it is the point.
+func almostEq(a, b, tol float64) bool {
+	if a == b { // ok: epsilon helper
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// withinEps is recognized by name as a helper too.
+func withinEps(a, b float64) bool {
+	return a == b // ok: epsilon helper
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "exact == on floating-point values"
+}
+
+func viaHelper(a, b float64) bool {
+	return almostEq(a, b, 1e-9) // ok: the sanctioned path
+}

@@ -1,0 +1,122 @@
+// Package placementmut flags raw writes to model.Placement's X matrix.
+//
+// The incremental routing engine caches per-service candidate lists in
+// model.PlacementIndex; a write that bypasses PlacementIndex.Set/Rebind
+// leaves the cache stale and silently corrupts every routed result (the PR-1
+// bug class). This analyzer makes such writes a lint error: any assignment,
+// IncDec, or copy() destination reaching Placement.X is reported unless it
+// sits inside one of the whitelisted mutation paths of package model itself
+// (Placement.Set, PlacementIndex.Set/Rebind, NewPlacement, Clone).
+// Intentional pre-index writes elsewhere (snapshot buffers that are always
+// followed by Rebind) carry a //socllint:ignore placementmut <reason>
+// directive.
+package placementmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the placementmut pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "placementmut",
+	Doc:  "flags writes to model.Placement.X outside PlacementIndex.Set/Rebind and whitelisted constructors",
+	Run:  run,
+}
+
+// whitelist names the model-package functions allowed to write Placement.X.
+var whitelist = map[string]bool{
+	"Set":          true, // Placement.Set and PlacementIndex.Set
+	"Rebind":       true,
+	"NewPlacement": true,
+	"Clone":        true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	inModel := pass.Pkg.Name() == "model"
+	for _, f := range pass.Files {
+		var fn *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fn = n
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs, fn, inModel)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X, fn, inModel)
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+					if obj := pass.ObjectOf(id); obj == nil || obj.Parent() == types.Universe {
+						checkWrite(pass, n.Args[0], fn, inModel)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkWrite reports lhs when it denotes (part of) a Placement.X matrix and
+// the enclosing function is not whitelisted within package model.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr, fn *ast.FuncDecl, inModel bool) {
+	sel := placementXSelector(pass, lhs)
+	if sel == nil {
+		return
+	}
+	if inModel && fn != nil && whitelist[fn.Name.Name] {
+		return
+	}
+	where := "outside package model"
+	if inModel {
+		where = "outside the whitelisted model mutators"
+	}
+	pass.Reportf(sel.Pos(),
+		"raw write to Placement.X %s desynchronizes PlacementIndex; use PlacementIndex.Set/Rebind or Placement.Set", where)
+}
+
+// placementXSelector unwraps index expressions (p.X, p.X[i], p.X[i][k]) and
+// returns the underlying `.X` selector when its receiver is model.Placement.
+func placementXSelector(pass *analysis.Pass, e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			e = v.X
+			continue
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.SelectorExpr:
+			if v.Sel.Name != "X" {
+				return nil
+			}
+			if isPlacement(pass.TypeOf(v.X)) {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isPlacement reports whether t is (a pointer to) a named type Placement
+// declared in a package named "model".
+func isPlacement(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Placement" && obj.Pkg() != nil && obj.Pkg().Name() == "model"
+}

@@ -1,0 +1,12 @@
+package placementmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/placementmut"
+)
+
+func TestPlacementMut(t *testing.T) {
+	analysistest.Run(t, "testdata", placementmut.Analyzer, "model", "a")
+}

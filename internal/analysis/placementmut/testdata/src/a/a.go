@@ -1,0 +1,55 @@
+// Package a exercises placementmut outside package model.
+package a
+
+import "model"
+
+func mutateCell(p model.Placement) {
+	p.X[0][1] = true // want "raw write to Placement.X outside package model"
+}
+
+func mutateRow(p model.Placement) {
+	p.X[0] = nil // want "raw write to Placement.X outside package model"
+}
+
+func mutateMatrix(p *model.Placement) {
+	p.X = nil // want "raw write to Placement.X outside package model"
+}
+
+func mutateViaCopy(dst, src model.Placement) {
+	copy(dst.X[0], src.X[0]) // want "raw write to Placement.X outside package model"
+}
+
+func mutateCompound(p model.Placement, rows [][]bool) {
+	p.X[2], rows[0] = rows[0], p.X[2] // want "raw write to Placement.X outside package model"
+}
+
+func throughIndex(ix *model.PlacementIndex) {
+	ix.Set(0, 1, true) // ok: the sanctioned mutation path
+}
+
+func throughSet(p model.Placement) {
+	p.Set(0, 1, true) // ok: Placement.Set is the model-owned write
+}
+
+func read(p model.Placement) bool {
+	n := 0
+	for _, on := range p.X[0] { // ok: read-only range
+		if on {
+			n++
+		}
+	}
+	return p.X[0][0] && n > 0 // ok: read
+}
+
+func annotated(p model.Placement) {
+	//socllint:ignore placementmut fixture: snapshot buffer restored before any index read
+	p.X[1][1] = true
+}
+
+// copyShadow proves that a user-defined copy function does not trip the
+// builtin-copy destination check.
+func copyShadow(p model.Placement) {
+	localCopy(p.X[0], p.X[0]) // ok: not the builtin copy
+}
+
+func localCopy(dst, src []bool) {}

@@ -1,0 +1,49 @@
+// Package model is a fixture mirror of repro/internal/model's placement
+// surface: the analyzer matches the Placement type by name and package name,
+// so these declarations stand in for the real ones.
+package model
+
+type Placement struct {
+	X [][]bool
+}
+
+func NewPlacement(m, v int) Placement {
+	x := make([][]bool, m)
+	for i := range x {
+		x[i] = make([]bool, v) // constructor: whitelisted
+	}
+	return Placement{X: x}
+}
+
+func (p Placement) Clone() Placement {
+	q := NewPlacement(len(p.X), len(p.X[0]))
+	for i := range p.X {
+		copy(q.X[i], p.X[i]) // Clone: whitelisted
+	}
+	return q
+}
+
+func (p Placement) Set(i, k int, val bool) { p.X[i][k] = val } // whitelisted
+
+func (p Placement) Has(i, k int) bool { return p.X[i][k] }
+
+type PlacementIndex struct {
+	p     Placement
+	dirty []bool
+}
+
+func (ix *PlacementIndex) Set(i, k int, val bool) {
+	ix.p.X[i][k] = val // whitelisted
+	ix.dirty[i] = true
+}
+
+func (ix *PlacementIndex) Rebind(p Placement) {
+	ix.p = p
+	ix.p.X[0] = ix.p.X[0] // whitelisted (Rebind)
+}
+
+// sneakyReset writes the matrix outside every whitelisted mutator: flagged
+// even inside package model.
+func (p Placement) sneakyReset(i, k int) {
+	p.X[i][k] = false // want "raw write to Placement.X outside the whitelisted model mutators"
+}

@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelerr.Analyzer, "sentdep", "sent")
+}

@@ -1,0 +1,21 @@
+// Package sentdep declares sentinel-contract functions for the sentinelerr
+// fixture, mirroring model.RouteOptimal's ErrNoInstance contract.
+package sentdep
+
+import "errors"
+
+// ErrNoInstance mirrors the real sentinel.
+var ErrNoInstance = errors.New("no instance")
+
+// Route fails with ErrNoInstance when the service has no instance.
+//
+//socllint:sentinel ErrNoInstance
+func Route(svc int) (int, float64, error) {
+	if svc < 0 {
+		return 0, 0, ErrNoInstance
+	}
+	return svc, 1.0, nil
+}
+
+// IsNoInstance reports whether err is the sentinel, unwrapping.
+func IsNoInstance(err error) bool { return errors.Is(err, ErrNoInstance) }

@@ -1,0 +1,199 @@
+// Package snapshotpair flags snapshot() calls whose paired restore() is
+// missing from failure exits of the same function.
+//
+// The combine serial phase brackets every speculative removal with
+// saveSnapshot/restoreSnapshot; PR 1 fixed a restore that leaked state, and
+// the residual hazard is an early exit (return/continue) taken between the
+// two calls. The analyzer enforces, per function that calls a snapshot-like
+// method:
+//
+//  1. at least one paired restore call (or a deferred restore) must appear in
+//     the function, and
+//  2. within the snapshot's innermost loop (or the function body), every
+//     if-branch after the snapshot that exits via return or continue must
+//     contain a restore call.
+//
+// Exits that intentionally commit the speculative state are annotated with
+// //socllint:ignore snapshotpair <reason>.
+package snapshotpair
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the snapshotpair pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotpair",
+	Doc:  "flags snapshot() calls whose restore() is not reachable on failure paths of the same function",
+	Run:  run,
+}
+
+// pairs maps snapshot-taking method names to their restoring counterparts.
+var pairs = map[string]string{
+	"snapshot":     "restore",
+	"Snapshot":     "Restore",
+	"saveSnapshot": "restoreSnapshot",
+	"SaveSnapshot": "RestoreSnapshot",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Locate snapshot calls and their restore names.
+	type snap struct {
+		call    *ast.CallExpr
+		restore string
+	}
+	var snaps []snap
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := calleeName(call); name != "" {
+				if r, ok := pairs[name]; ok {
+					snaps = append(snaps, snap{call, r})
+				}
+			}
+		}
+		return true
+	})
+	for _, s := range snaps {
+		if deferredCall(fd.Body, s.restore) {
+			continue // defer restore() covers every exit
+		}
+		if !containsCall(fd.Body, s.restore) {
+			pass.Reportf(s.call.Pos(),
+				"%s has no matching %s anywhere in this function", calleeName(s.call), s.restore)
+			continue
+		}
+		scope := innermostLoopBody(fd, s.call.Pos())
+		checkExitBranches(pass, scope, s.call.End(), s.restore)
+	}
+}
+
+// checkExitBranches reports if-branches after pos that exit via return or
+// continue without restoring.
+func checkExitBranches(pass *analysis.Pass, scope *ast.BlockStmt, pos token.Pos, restore string) {
+	ast.Inspect(scope, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Pos() < pos {
+			return true
+		}
+		for _, blk := range ifBranches(ifs) {
+			exit := exitStmt(blk)
+			if exit == nil {
+				continue
+			}
+			if containsCall(blk, restore) || takesSnapshot(blk) {
+				continue
+			}
+			pass.Reportf(exit.Pos(),
+				"branch exits between snapshot and %s without restoring; add %s or annotate the intentional commit", restore, restore)
+		}
+		return true
+	})
+}
+
+// ifBranches returns the then-block and any else-block of an if statement.
+func ifBranches(ifs *ast.IfStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{ifs.Body}
+	if blk, ok := ifs.Else.(*ast.BlockStmt); ok {
+		out = append(out, blk)
+	}
+	return out
+}
+
+// exitStmt returns the statement making blk an unconditional exit (trailing
+// return or continue), or nil.
+func exitStmt(blk *ast.BlockStmt) ast.Stmt {
+	if len(blk.List) == 0 {
+		return nil
+	}
+	switch last := blk.List[len(blk.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return last
+	case *ast.BranchStmt:
+		if last.Tok == token.CONTINUE {
+			return last
+		}
+	}
+	return nil
+}
+
+// innermostLoopBody returns the body of the innermost for/range statement
+// enclosing pos, or the function body when the snapshot is not inside a loop.
+func innermostLoopBody(fd *ast.FuncDecl, pos token.Pos) *ast.BlockStmt {
+	best := fd.Body
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Body.Pos() <= pos && pos <= n.Body.End() {
+				best = n.Body
+			}
+		case *ast.RangeStmt:
+			if n.Body.Pos() <= pos && pos <= n.Body.End() {
+				best = n.Body
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// containsCall reports whether any call to a function/method named name
+// appears under n.
+func containsCall(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && calleeName(call) == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// takesSnapshot reports whether the block takes a fresh snapshot of its own.
+func takesSnapshot(n ast.Node) bool {
+	for save := range pairs {
+		if containsCall(n, save) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferredCall reports whether a `defer x.name(...)` appears in the body.
+func deferredCall(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && calleeName(d.Call) == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

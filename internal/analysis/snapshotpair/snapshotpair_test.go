@@ -1,0 +1,12 @@
+package snapshotpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotpair"
+)
+
+func TestSnapshotPair(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotpair.Analyzer, "snap")
+}

@@ -1,0 +1,94 @@
+// Package snap exercises snapshotpair.
+package snap
+
+type state struct{}
+
+func (s *state) saveSnapshot()    {}
+func (s *state) restoreSnapshot() {}
+func (s *state) snapshot()        {}
+func (s *state) restore()         {}
+func (s *state) work() bool       { return false }
+
+// missingRestore never restores at all.
+func missingRestore(s *state) {
+	s.saveSnapshot() // want "saveSnapshot has no matching restoreSnapshot anywhere in this function"
+	_ = s.work()
+}
+
+// earlyContinue exits the loop iteration on a failure branch without
+// restoring, although a restore exists on another path.
+func earlyContinue(s *state) {
+	for i := 0; i < 10; i++ {
+		s.saveSnapshot()
+		if s.work() {
+			continue // want "branch exits between snapshot and restoreSnapshot without restoring"
+		}
+		if i > 5 {
+			s.restoreSnapshot()
+			continue // ok: restored before exiting
+		}
+	}
+}
+
+// earlyReturn exits the function on a failure branch without restoring.
+func earlyReturn(s *state) {
+	s.snapshot()
+	if s.work() {
+		return // want "branch exits between snapshot and restore without restoring"
+	}
+	s.restore()
+}
+
+// deferred restores on every path via defer.
+func deferred(s *state) {
+	s.saveSnapshot()
+	defer s.restoreSnapshot()
+	if s.work() {
+		return // ok: deferred restore covers this exit
+	}
+}
+
+// balanced restores on each failure branch.
+func balanced(s *state) {
+	for i := 0; i < 10; i++ {
+		s.saveSnapshot()
+		if s.work() {
+			s.restoreSnapshot()
+			continue
+		}
+		s.restoreSnapshot()
+	}
+}
+
+// committed documents an intentional accept-and-continue exit.
+func committed(s *state) {
+	for i := 0; i < 10; i++ {
+		s.saveSnapshot()
+		if s.work() {
+			//socllint:ignore snapshotpair fixture: failed step is accepted, not rolled back
+			continue
+		}
+		s.restoreSnapshot()
+	}
+}
+
+// resnapshotted branches that take a fresh snapshot of their own are the new
+// snapshot's problem, not this one's.
+func resnapshotted(s *state) {
+	s.saveSnapshot()
+	if s.work() {
+		s.saveSnapshot() // ok: branch owns a fresh snapshot
+		return
+	}
+	s.restoreSnapshot()
+}
+
+// beforeSnapshot: exits lexically before the snapshot are not failure paths
+// of it.
+func beforeSnapshot(s *state) {
+	if s.work() {
+		return // ok: snapshot not yet taken
+	}
+	s.saveSnapshot()
+	s.restoreSnapshot()
+}

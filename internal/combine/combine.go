@@ -53,6 +53,7 @@ import (
 	"sync"
 
 	"repro/internal/fuzzy"
+	"repro/internal/invariant"
 	"repro/internal/model"
 	"repro/internal/partition"
 )
@@ -138,6 +139,10 @@ type state struct {
 	latTab    [][]float64   // per request: step latencies, row-major [t·V+k]
 	cloudLat  [][]float64   // per request: cloud step latencies [t]
 	snap      snapState     // reusable serial-step snapshot buffers
+
+	// idxWatch memoizes index-coherence verification by epoch; inert (and
+	// all its uses free) without the soclinvariants build tag.
+	idxWatch invariant.IndexWatch
 }
 
 // setPlace mutates the placement, keeping the candidate index coherent
@@ -195,10 +200,18 @@ func Run(in *model.Instance, part *partition.Result, pre model.Placement, cfg Co
 
 	res := Result{}
 	res.BudgetMet = s.parallelPhase(cfg, &res)
+	if res.BudgetMet {
+		invariant.CheckBudget(in, s.place, "combine: after parallel phase")
+	}
+	s.checkPhaseInvariants("after parallel phase")
 	s.serialPhase(cfg, &res)
+	s.checkPhaseInvariants("after serial phase")
 	// Final storage repair: the parallel phase does not run Algorithm 5, so
 	// a placement can exit the loop budget-feasible but storage-tight.
-	s.storagePlanning(&res)
+	if s.storagePlanning(&res) {
+		invariant.CheckStorage(in, s.place, "combine: final storage planning")
+	}
+	s.checkPhaseInvariants("after final storage planning")
 	res.Placement = s.place
 	res.RouteCacheHits = s.cacheHits
 	res.RouteRecomputed = s.recomputed
@@ -526,6 +539,7 @@ func (s *state) updateInstanceSet() []scoredInst {
 	}
 	sort.Slice(out, func(i, j int) bool {
 		ri, rj := rank(out[i]), rank(out[j])
+		//socllint:ignore floateq exact compare keeps the order strict-weak; an epsilon here would break sort transitivity
 		if ri != rj {
 			return ri < rj
 		}
@@ -701,6 +715,7 @@ func (s *state) serialPhase(cfg Config, res *Result) {
 			// parallel loop's "continue" in line 17) — i.e., accept the
 			// removal and move on.
 			res.Combined++
+			//socllint:ignore snapshotpair removal is committed, not rolled back: storage stays tight until further combining shrinks the deployment
 			continue
 		}
 
@@ -712,6 +727,7 @@ func (s *state) serialPhase(cfg Config, res *Result) {
 			s.restoreSnapshot(res)
 			s.frozen[inst.key] = true // never combine this instance again
 			res.RolledBack++
+			s.checkPhaseInvariants("after serial rollback")
 			continue
 		}
 
@@ -720,9 +736,11 @@ func (s *state) serialPhase(cfg Config, res *Result) {
 		if delta <= 0 {
 			// Objective rose beyond the disturbance: revert and stop.
 			s.restoreSnapshot(res)
+			s.checkPhaseInvariants("after serial revert")
 			return
 		}
 		res.Combined++
+		s.checkPhaseInvariants("after accepted serial step")
 	}
 }
 
@@ -761,6 +779,7 @@ func (s *state) saveSnapshot(res *Result) {
 		}
 	} else {
 		for i := range s.place.X {
+			//socllint:ignore placementmut write target is the snapshot buffer, never indexed; the live placement is only read
 			copy(sn.place.X[i], s.place.X[i])
 		}
 		for h := range s.rel {
@@ -781,6 +800,7 @@ func (s *state) saveSnapshot(res *Result) {
 func (s *state) restoreSnapshot(res *Result) {
 	sn := &s.snap
 	for i := range s.place.X {
+		//socllint:ignore placementmut wholesale restore: the Rebind below invalidates every cached list before the next read
 		copy(s.place.X[i], sn.place.X[i])
 	}
 	for h := range s.rel {
@@ -805,8 +825,17 @@ func (s *state) restoreSnapshot(res *Result) {
 // if the cloud completion time misses the deadline.
 func (s *state) deadlineViolated() bool {
 	if s.routes != nil {
-		return s.deadlineViolatedIncremental()
+		v := s.deadlineViolatedIncremental()
+		s.checkDeadlineVerdict(v) // differential Eq. 4; no-op unless armed
+		return v
 	}
+	return s.deadlineViolatedNaive()
+}
+
+// deadlineViolatedNaive routes every finite-deadline request from scratch —
+// the ground-truth path behind Config.Naive and the invariant layer's
+// differential check.
+func (s *state) deadlineViolatedNaive() bool {
 	for h := range s.in.Workload.Requests {
 		req := &s.in.Workload.Requests[h]
 		if math.IsInf(req.Deadline, 1) {
@@ -814,7 +843,10 @@ func (s *state) deadlineViolated() bool {
 		}
 		_, d, err := s.in.RouteOptimal(req, s.place)
 		if err != nil {
-			if s.in.Cloud == nil {
+			// Branch on the sentinel, not err != nil: only ErrNoInstance is
+			// eligible for cloud fallback. (PR 1's stale-verdict bug hid in
+			// exactly this kind of catch-all; any other error is a violation.)
+			if !model.IsNoInstance(err) || s.in.Cloud == nil {
 				return true
 			}
 			d = s.in.Cloud.CloudCompletionTime(s.in.Workload.Catalog, req)
@@ -970,6 +1002,7 @@ func (s *state) migrate(svc, k int, res *Result) bool {
 		cands = append(cands, cand{q, in.Graph.PathCost(k, q)})
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		//socllint:ignore floateq exact compare keeps the order strict-weak; an epsilon here would break sort transitivity
 		if cands[i].cost != cands[j].cost {
 			return cands[i].cost < cands[j].cost
 		}

@@ -169,7 +169,10 @@ func (s *state) rerouteOne(h int, sc *model.RouteScratch) {
 	switch {
 	case err == nil:
 		e.nodes, e.lat = a.Nodes, d
-	case s.in.Cloud != nil:
+	case model.IsNoInstance(err) && s.in.Cloud != nil:
+		// Same sentinel discipline as the naive deadlineViolated path: only
+		// ErrNoInstance routes to the cloud; anything else counts as missing
+		// (infinite latency), keeping the two paths' verdicts identical.
 		e.cloud = true
 		e.lat = s.in.Cloud.CloudCompletionTime(s.in.Workload.Catalog, req)
 	default:

@@ -1,0 +1,124 @@
+package combine
+
+import (
+	"repro/internal/invariant"
+	"repro/internal/model"
+)
+
+// This file wires internal/invariant into the combine phase boundaries. All
+// checks are armed by the `soclinvariants` build tag and compile to nothing
+// otherwise; with the tag on they recompute the incremental engine's three
+// cached structures (candidate index, reverse reliance index, route cache)
+// from scratch and panic on the first divergence — the runtime counterpart
+// of the placementmut/snapshotpair analyzers, catching what escapes them.
+
+// checkPhaseInvariants validates the mutable state against ground truth:
+//
+//  1. PlacementIndex ↔ Placement coherence (epoch-memoized: the O(M·N)
+//     scan reruns only when the index mutated since the last verified one);
+//  2. the cost accumulator against Eq. 1 recomputed;
+//  3. reliance validity: every served step relies on a live instance;
+//  4. the reverse reliance index against a full rescan of rel;
+//  5. route-cache exactness: every valid entry equals fresh optimal routing.
+func (s *state) checkPhaseInvariants(where string) {
+	if !invariant.Enabled {
+		return
+	}
+	s.idxWatch.Check(s.idx)
+	invariant.Assertf(invariant.AlmostEq(s.cost, s.in.DeployCost(s.place), 1e-6),
+		"combine %s: cost accumulator %.9g != recomputed deploy cost %.9g", where, s.cost, s.in.DeployCost(s.place))
+	for h := range s.rel {
+		req := &s.in.Workload.Requests[h]
+		for t, k := range s.rel[h] {
+			if k >= 0 {
+				invariant.Assertf(s.place.Has(req.Chain[t], k),
+					"combine %s: rel[%d][%d] = node %d but service %d has no instance there", where, h, t, k, req.Chain[t])
+			}
+		}
+	}
+	s.checkRelianceIndex(where)
+	s.checkRouteCache(where)
+}
+
+// checkRelianceIndex verifies relyIdx against rel in both directions: every
+// indexed (h,t) must rely on exactly that instance with lists ascending
+// (ζ sums float terms in list order — order is semantic, not cosmetic), and
+// every served step of rel must be indexed exactly once.
+func (s *state) checkRelianceIndex(where string) {
+	if !invariant.Enabled || s.relyIdx == nil {
+		return
+	}
+	indexed := 0
+	for key, list := range s.relyIdx {
+		invariant.Assertf(len(list) > 0, "combine %s: relyIdx[%v] is an empty list, not a deleted key", where, key)
+		prev := [2]int{-1, -1}
+		for _, ht := range list {
+			h, t := ht[0], ht[1]
+			invariant.Assertf(prev[0] < h || (prev[0] == h && prev[1] < t),
+				"combine %s: relyIdx[%v] not ascending at (%d,%d)", where, key, h, t)
+			prev = ht
+			invariant.Assertf(s.in.Workload.Requests[h].Chain[t] == key.svc && s.rel[h][t] == key.node,
+				"combine %s: relyIdx[%v] lists (%d,%d) but rel[%d][%d] = %d", where, key, h, t, h, t, s.rel[h][t])
+			indexed++
+		}
+	}
+	served := 0
+	for h := range s.rel {
+		for _, k := range s.rel[h] {
+			if k >= 0 {
+				served++
+			}
+		}
+	}
+	invariant.Assertf(indexed == served,
+		"combine %s: relyIdx tracks %d steps, rel serves %d", where, indexed, served)
+}
+
+// checkRouteCache verifies the "cache hits are exact" claim: every valid
+// entry must reproduce routing the request from scratch under the current
+// placement — same assignment, bitwise-same latency, same fallback class.
+func (s *state) checkRouteCache(where string) {
+	if !invariant.Enabled || s.routes == nil {
+		return
+	}
+	for _, h := range s.finite {
+		e := &s.routes[h]
+		if !e.valid {
+			continue
+		}
+		req := &s.in.Workload.Requests[h]
+		a, d, err := s.in.RouteOptimal(req, s.place)
+		switch {
+		case err == nil:
+			invariant.Assertf(!e.cloud && !e.missing,
+				"combine %s: request %d cached as cloud/missing but is routable", where, h)
+			invariant.Assertf(invariant.AlmostEq(e.lat, d, 0),
+				"combine %s: request %d cached latency %v != fresh %v", where, h, e.lat, d)
+			invariant.Assertf(len(e.nodes) == len(a.Nodes), "combine %s: request %d cached route length mismatch", where, h)
+			for t := range a.Nodes {
+				invariant.Assertf(e.nodes[t] == a.Nodes[t],
+					"combine %s: request %d cached route step %d = node %d, fresh = %d", where, h, t, e.nodes[t], a.Nodes[t])
+			}
+		case model.IsNoInstance(err) && s.in.Cloud != nil:
+			invariant.Assertf(e.cloud,
+				"combine %s: request %d is cloud-eligible but cached as %+v", where, h, *e)
+		default:
+			invariant.Assertf(e.missing,
+				"combine %s: request %d is unroutable but cached as %+v", where, h, *e)
+		}
+	}
+}
+
+// checkDeadlineVerdict asserts the incremental deadline verdict equals the
+// naive one routed from scratch — the differential form of Eq. 4 (absolute
+// feasibility is not an invariant mid-run: intermediate placements may
+// legitimately violate deadlines and be rolled back).
+func (s *state) checkDeadlineVerdict(incremental bool) {
+	if !invariant.Enabled {
+		return
+	}
+	s.checkRouteCache("deadline check")
+	naive := s.deadlineViolatedNaive()
+	invariant.Assertf(incremental == naive,
+		"combine deadline check: incremental verdict %v != naive %v", incremental, naive)
+}

@@ -92,6 +92,7 @@ func (o *OnlineSolver) Step(in *model.Instance) (*Solution, OnlineStats, error) 
 		// Warm instances resist removal (fewer container cold-starts); the
 		// bias defaults to 2Θ when the caller didn't choose one.
 		ccfg.Warm = o.prev
+		//socllint:ignore floateq exact zero means the caller left the bias unset; it is never a computed value
 		if ccfg.WarmBias == 0 {
 			ccfg.WarmBias = 2 * combineTheta(ccfg)
 		}

@@ -1,0 +1,7 @@
+//go:build !soclinvariants
+
+package invariant
+
+// Enabled is false without the `soclinvariants` build tag: every check in
+// this package is an immediate return that the compiler eliminates.
+const Enabled = false

@@ -1,0 +1,8 @@
+//go:build soclinvariants
+
+package invariant
+
+// Enabled is true in builds tagged `soclinvariants`: every check in this
+// package runs and panics on violation. The constant folds to false in
+// regular builds, so the checks compile to nothing.
+const Enabled = true

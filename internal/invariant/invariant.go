@@ -1,0 +1,121 @@
+// Package invariant is the runtime counterpart of the socllint analyzers: a
+// build-tag-gated assertion layer that checks, while the algorithms run, the
+// properties the static passes can only approximate. Build with
+//
+//	go test -tags soclinvariants ./...
+//
+// to arm it; without the tag every function returns immediately and the
+// compiler deletes the calls, so hot paths pay nothing.
+//
+// The checks mirror the paper's feasibility system: deadline satisfaction
+// (Eq. 4), the deployment budget (Eq. 5), per-node storage capacity (Eq. 6),
+// and — beyond the paper — coherence of the PlacementIndex cache with its
+// placement, the exact bug class PR 1 fixed.
+//
+// Dependency direction: invariant imports model, never the reverse.
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Assert panics with msg when cond is false (and checks are Enabled).
+func Assert(cond bool, msg string) {
+	if !Enabled || cond {
+		return
+	}
+	panic("invariant: " + msg)
+}
+
+// Assertf is Assert with formatting; args are not evaluated when disabled
+// only if the caller guards with Enabled — prefer Assert for hot sites.
+func Assertf(cond bool, format string, args ...any) {
+	if !Enabled || cond {
+		return
+	}
+	panic("invariant: " + fmt.Sprintf(format, args...))
+}
+
+// AlmostEq reports |a-b| <= eps, treating equal infinities as equal. It is
+// the comparison the floateq analyzer demands instead of ==.
+func AlmostEq(a, b, eps float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) || math.IsInf(a, -1) && math.IsInf(b, -1) {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// IndexWatch memoizes coherence verification of one PlacementIndex by epoch:
+// a full O(M·N) CheckCoherent scan runs only when the index mutated since
+// the last verified scan, so per-phase checks stay cheap in long runs.
+// The zero value is ready to use. Not safe for concurrent use.
+type IndexWatch struct {
+	epoch   uint64
+	checked bool
+}
+
+// Check verifies ix's cached candidate lists against its placement, skipping
+// the scan when the epoch is unchanged since the last verified Check.
+func (w *IndexWatch) Check(ix *model.PlacementIndex) {
+	if !Enabled || ix == nil {
+		return
+	}
+	if w.checked && ix.Epoch() == w.epoch {
+		return
+	}
+	if err := ix.CheckCoherent(); err != nil {
+		panic("invariant: " + err.Error())
+	}
+	w.epoch, w.checked = ix.Epoch(), true
+}
+
+// CheckBudget panics when the placement's deployment cost exceeds the
+// instance budget (Eq. 5).
+func CheckBudget(in *model.Instance, p model.Placement, where string) {
+	if !Enabled {
+		return
+	}
+	if !in.CheckBudget(p) {
+		panic(fmt.Sprintf("invariant: %s: deployment cost %.6g exceeds budget %.6g (Eq. 5)", where, in.DeployCost(p), in.Budget))
+	}
+}
+
+// CheckStorage panics when any node's stored instance volume exceeds its
+// capacity (Eq. 6).
+func CheckStorage(in *model.Instance, p model.Placement, where string) {
+	if !Enabled {
+		return
+	}
+	if k := in.CheckStorage(p); k >= 0 {
+		panic(fmt.Sprintf("invariant: %s: node %d stores %.6g > capacity %.6g (Eq. 6)", where, k, in.StorageUsed(p, k), in.Graph.Node(k).Storage))
+	}
+}
+
+// CheckDeadlines panics when some finite-deadline request cannot meet its
+// deadline under exact optimal routing (Eq. 4), honoring the cloud fallback
+// exactly as the evaluator and combine's deadlineViolated do: a request
+// whose chain has no instance is served by the cloud when one exists.
+func CheckDeadlines(in *model.Instance, p model.Placement, where string) {
+	if !Enabled {
+		return
+	}
+	for h := range in.Workload.Requests {
+		req := &in.Workload.Requests[h]
+		if math.IsInf(req.Deadline, 1) {
+			continue
+		}
+		_, d, err := in.RouteOptimal(req, p)
+		if err != nil {
+			if !model.IsNoInstance(err) || in.Cloud == nil {
+				panic(fmt.Sprintf("invariant: %s: request %d unroutable with no cloud fallback: %v (Eq. 4)", where, req.ID, err))
+			}
+			d = in.Cloud.CloudCompletionTime(in.Workload.Catalog, req)
+		}
+		if d > req.Deadline+1e-9 {
+			panic(fmt.Sprintf("invariant: %s: request %d completes at %.6g > deadline %.6g (Eq. 4)", where, req.ID, d, req.Deadline))
+		}
+	}
+}

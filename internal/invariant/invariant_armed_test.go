@@ -1,0 +1,120 @@
+//go:build soclinvariants
+
+package invariant
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/topology"
+)
+
+// This file runs only under the soclinvariants tag: it proves the armed
+// checks actually fire (a suite of assertions that can never fail is
+// indistinguishable from one that never runs).
+
+func expectPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func armedInstance(t *testing.T, seed int64) *model.Instance {
+	t.Helper()
+	g := topology.RandomGeometric(8, 0.4, topology.DefaultGenConfig(), seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	w, err := msvc.GenerateWorkload(cat, g, msvc.DefaultWorkloadConfig(20), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e9}
+}
+
+func densePlacement(in *model.Instance) model.Placement {
+	p := model.NewPlacement(in.M(), in.V())
+	for i := 0; i < in.M(); i++ {
+		for k := 0; k < in.V(); k++ {
+			p.Set(i, k, true)
+		}
+	}
+	return p
+}
+
+func TestArmedAssert(t *testing.T) {
+	if !Enabled {
+		t.Fatal("soclinvariants build must set Enabled")
+	}
+	Assert(true, "must not fire")
+	Assertf(true, "must not fire")
+	expectPanic(t, "broken", func() { Assert(false, "broken") })
+	expectPanic(t, "broken 42", func() { Assertf(false, "broken %d", 42) })
+}
+
+// TestArmedIndexWatch proves both halves of the epoch memoization: a stale
+// cache is caught on a fresh watch, and a watch that already verified the
+// current epoch skips the scan entirely (so per-phase checks stay O(1)
+// between mutations — raw writes do not bump the epoch, which is exactly
+// why the placementmut analyzer bans them).
+func TestArmedIndexWatch(t *testing.T) {
+	p := model.NewPlacement(2, 4)
+	p.Set(0, 1, true)
+	ix := model.NewPlacementIndex(p)
+	ix.Prewarm()
+
+	var w IndexWatch
+	w.Check(ix) // verifies and memoizes epoch
+
+	p.X[0][2] = true // raw write: cache stale, epoch unchanged
+	w.Check(ix)      // memoized — must NOT panic (and must not scan)
+
+	var fresh IndexWatch
+	expectPanic(t, "stale", func() { fresh.Check(ix) })
+
+	p.X[0][2] = false // restore coherence
+	fresh = IndexWatch{}
+	fresh.Check(ix)
+	ix.Set(1, 3, true) // epoch bump forces the next scan
+	ix.Prewarm()
+	fresh.Check(ix) // re-verifies at the new epoch
+}
+
+func TestArmedFeasibilityChecks(t *testing.T) {
+	in := armedInstance(t, 1)
+	p := densePlacement(in)
+
+	in.Budget = in.DeployCost(p) + 1
+	CheckBudget(in, p, "test")
+	in.Budget = in.DeployCost(p) / 2
+	expectPanic(t, "Eq. 5", func() { CheckBudget(in, p, "test") })
+	in.Budget = 1e9
+
+	if k := in.CheckStorage(p); k >= 0 {
+		expectPanic(t, "Eq. 6", func() { CheckStorage(in, p, "test") })
+	} else {
+		CheckStorage(in, p, "test")
+	}
+
+	for h := range in.Workload.Requests {
+		in.Workload.Requests[h].Deadline = math.Inf(1)
+	}
+	CheckDeadlines(in, p, "test") // no finite deadline: vacuously feasible
+	for h := range in.Workload.Requests {
+		in.Workload.Requests[h].Deadline = 1e-12
+	}
+	expectPanic(t, "Eq. 4", func() { CheckDeadlines(in, p, "test") })
+
+	// Unroutable request without a cloud fallback: also an Eq. 4 panic.
+	empty := model.NewPlacement(in.M(), in.V())
+	expectPanic(t, "Eq. 4", func() { CheckDeadlines(in, empty, "test") })
+}

@@ -326,6 +326,7 @@ func (t *tableau) setPhase2Objective(c []float64) {
 func (t *tableau) eliminate(r int) {
 	obj := t.rows[t.m()]
 	factor := obj[t.basis[r]]
+	//socllint:ignore floateq structural zero: entry was assigned zero by elimination, not approximately computed
 	if factor == 0 {
 		return
 	}
@@ -399,6 +400,7 @@ func (t *tableau) pivot(row, col int) {
 			continue
 		}
 		f := t.rows[r][col]
+		//socllint:ignore floateq structural zero skip is an optimization; pivoting handles near-zeros via ratio tests
 		if f == 0 {
 			continue
 		}

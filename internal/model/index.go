@@ -1,5 +1,7 @@
 package model
 
+import "fmt"
+
 // PlacementIndex wraps a Placement with cached per-service candidate node
 // lists and reusable routing scratch space. It is the read side of the
 // incremental routing engine: Placement.NodesOf allocates and scans the full
@@ -17,6 +19,12 @@ type PlacementIndex struct {
 	p     Placement
 	nodes [][]int
 	dirty []bool
+	// epoch counts mutations observed through the index (Set, Rebind). It
+	// lets invariant checkers and long-lived consumers detect staleness in
+	// O(1): a cached artifact stamped with Epoch() e is coherent with the
+	// index iff Epoch() still equals e — *provided* every placement write
+	// went through the index, which the placementmut analyzer enforces.
+	epoch uint64
 }
 
 // NewPlacementIndex builds an index over p. The index aliases p's backing
@@ -50,13 +58,20 @@ func (ix *PlacementIndex) Rebind(p Placement) {
 	for i := range ix.dirty {
 		ix.dirty[i] = true
 	}
+	ix.epoch++
 }
 
 // Set deploys (or removes) service i on node k and invalidates i's list.
 func (ix *PlacementIndex) Set(i, k int, val bool) {
 	ix.p.X[i][k] = val
 	ix.dirty[i] = true
+	ix.epoch++
 }
+
+// Epoch returns the index's mutation counter: it increases monotonically on
+// every Set and Rebind and never otherwise. Equal epochs across two reads
+// guarantee no mutation went through the index in between.
+func (ix *PlacementIndex) Epoch() uint64 { return ix.epoch }
 
 // Has reports whether service i is deployed on node k.
 func (ix *PlacementIndex) Has(i, k int) bool { return ix.p.X[i][k] }
@@ -86,6 +101,34 @@ func (ix *PlacementIndex) Prewarm() {
 	for i := range ix.dirty {
 		ix.NodesOf(i)
 	}
+}
+
+// CheckCoherent verifies every clean cached candidate list against a fresh
+// scan of its placement row, catching exactly the staleness class behind
+// PR 1: a raw write to Placement.X that bypassed Set/Rebind. Dirty entries
+// are coherent by definition (the next NodesOf rebuilds them). O(M·N) — for
+// the soclinvariants build and tests, not hot paths.
+func (ix *PlacementIndex) CheckCoherent() error {
+	for i := range ix.nodes {
+		if ix.dirty[i] {
+			continue
+		}
+		row := ix.p.X[i]
+		j := 0
+		for k, on := range row {
+			if !on {
+				continue
+			}
+			if j >= len(ix.nodes[i]) || ix.nodes[i][j] != k {
+				return fmt.Errorf("model: PlacementIndex stale for service %d: cached %v disagrees with placement at node %d (epoch %d)", i, ix.nodes[i], k, ix.epoch)
+			}
+			j++
+		}
+		if j != len(ix.nodes[i]) {
+			return fmt.Errorf("model: PlacementIndex stale for service %d: cached %v has %d extra node(s) (epoch %d)", i, ix.nodes[i], len(ix.nodes[i])-j, ix.epoch)
+		}
+	}
+	return nil
 }
 
 // RouteScratch holds the dynamic-programming buffers of RouteOptimal so

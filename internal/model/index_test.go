@@ -118,6 +118,69 @@ func TestRouteOptimalIndexedMatchesNaive(t *testing.T) {
 	}
 }
 
+// Every Set and Rebind — and nothing else — must advance the epoch, and
+// CheckCoherent must accept index-routed mutations while catching raw
+// placement writes that bypass the index.
+func TestPlacementIndexEpochAndCoherence(t *testing.T) {
+	p := NewPlacement(3, 5)
+	p.Set(0, 1, true)
+	p.Set(1, 2, true)
+	ix := NewPlacementIndex(p)
+	if ix.Epoch() != 0 {
+		t.Fatalf("fresh index epoch = %d, want 0", ix.Epoch())
+	}
+	ix.Prewarm()
+	_ = ix.NodesOf(0)
+	if ix.Epoch() != 0 {
+		t.Fatal("reads must not advance the epoch")
+	}
+	ix.Set(0, 3, true)
+	if ix.Epoch() != 1 {
+		t.Fatalf("epoch after one Set = %d, want 1", ix.Epoch())
+	}
+	ix.Set(0, 3, false)
+	ix.Rebind(p)
+	if ix.Epoch() != 3 {
+		t.Fatalf("epoch after Set+Set+Rebind = %d, want 3", ix.Epoch())
+	}
+
+	ix.Prewarm()
+	if err := ix.CheckCoherent(); err != nil {
+		t.Fatalf("coherent index reported: %v", err)
+	}
+	// Mutations through the index stay coherent.
+	ix.Set(1, 4, true)
+	ix.Prewarm()
+	if err := ix.CheckCoherent(); err != nil {
+		t.Fatalf("after indexed Set: %v", err)
+	}
+	// A raw write behind the index's back — the PR-1 bug class — must be
+	// caught: flip a bit in a clean row without touching the index.
+	p.X[1][0] = true
+	if err := ix.CheckCoherent(); err == nil {
+		t.Fatal("CheckCoherent missed a raw placement write (extra node)")
+	}
+	p.X[1][0] = false
+	p.X[1][4] = false // now the cached list has a stale extra entry
+	if err := ix.CheckCoherent(); err == nil {
+		t.Fatal("CheckCoherent missed a raw placement write (removed node)")
+	}
+	p.X[1][4] = true
+	if err := ix.CheckCoherent(); err != nil {
+		t.Fatalf("restored placement still reported: %v", err)
+	}
+	// Dirty rows are exempt: the next NodesOf rebuilds them.
+	ix.Set(2, 0, true)
+	p.X[2][1] = true
+	if err := ix.CheckCoherent(); err != nil {
+		t.Fatalf("dirty row must not be checked: %v", err)
+	}
+	_ = ix.NodesOf(2) // rebuild absorbs the raw write
+	if err := ix.CheckCoherent(); err != nil {
+		t.Fatalf("rebuilt row reported: %v", err)
+	}
+}
+
 func firstAbsent(ix *PlacementIndex, i, v int) int {
 	for k := 0; k < v; k++ {
 		if !ix.Has(i, k) {

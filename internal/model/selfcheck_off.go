@@ -1,0 +1,7 @@
+//go:build !soclinvariants
+
+package model
+
+// invariantsEnabled is false without the `soclinvariants` build tag; the
+// self-checks in selfcheck.go compile to nothing.
+const invariantsEnabled = false

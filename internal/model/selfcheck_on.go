@@ -1,0 +1,9 @@
+//go:build soclinvariants
+
+package model
+
+// invariantsEnabled arms the evaluator's self-checks (selfcheck.go) in
+// builds tagged `soclinvariants`. The constant lives in model rather than
+// internal/invariant because invariant imports model — the reverse import
+// would be a cycle.
+const invariantsEnabled = true

@@ -498,6 +498,7 @@ func (s *solver) lowerBound() float64 {
 			}
 			// κ·n grows while lat is already at its floor: once lat ==
 			// allowedLat further n only cost more.
+			//socllint:ignore floateq lat was literally assigned allowedLat above; assignment-equality is exact
 			if lat == allowedLat {
 				break
 			}

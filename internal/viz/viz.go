@@ -70,9 +70,11 @@ func LineChart(title, xLabel, yLabel string, series []Series, logY bool) string 
 		}
 		yMin, yMax = ty(math.Max(yMin, minPos)), ty(yMax)
 	}
+	//socllint:ignore floateq degenerate-range guard: equal extrema would divide by zero either way
 	if xMax == xMin {
 		xMax = xMin + 1
 	}
+	//socllint:ignore floateq degenerate-range guard: equal extrema would divide by zero either way
 	if yMax == yMin {
 		yMax = yMin + 1
 	}
@@ -131,6 +133,7 @@ func GroupedBarChart(title, yLabel string, labels []string, series []Series) str
 			yMax = math.Max(yMax, y)
 		}
 	}
+	//socllint:ignore floateq exact zero: yMax starts at 0 and only ever increases by max()
 	if yMax == 0 {
 		yMax = 1
 	}

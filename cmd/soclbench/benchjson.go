@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/combine"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/partition"
+	"repro/internal/preprov"
+	"repro/internal/topology"
+)
+
+// benchResult is one benchmark's measurement in BENCH_<date>.json.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchFile is the BENCH_<date>.json layout: a dated snapshot of the hot
+// paths the perf work targets, written by `soclbench -benchjson <dir>` so
+// before/after evidence can be committed next to the results CSVs.
+type benchFile struct {
+	Date       string                 `json:"date"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Workers    int                    `json:"workers"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// benchJSONInstance mirrors the root bench harness's benchInstance so the
+// JSON numbers are comparable with `go test -bench` output.
+func benchJSONInstance(nodes, users int, seed int64) *model.Instance {
+	g := topology.RandomGeometric(nodes, 0.35, topology.DefaultGenConfig(), seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	cfg := msvc.DefaultWorkloadConfig(users)
+	cfg.DeadlineSlack = 0
+	w, err := msvc.GenerateWorkload(cat, g, cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 8000}
+}
+
+// runBenchJSON measures the delta-engine hot paths (incremental GC-OG and
+// its naive reference, the combine serial descent, the Fig. 8 sweep) via
+// testing.Benchmark and writes dir/BENCH_<date>.json.
+func runBenchJSON(dir string, workers int) error {
+	gcogIn := benchJSONInstance(10, 40, 1)
+	combineIn := benchJSONInstance(25, 250, 1)
+	combineIn.Budget = 1e9
+	part := partition.Build(combineIn, partition.DefaultConfig())
+	pre := preprov.Run(combineIn, part)
+	fig8Opts := experiments.Options{Short: true, Seed: 1, Workers: workers}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BaselineGCOG", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baselines.GCOG(gcogIn)
+			}
+		}},
+		{"BaselineGCOGNaive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				baselines.GCOGWithConfig(gcogIn, baselines.GCOGConfig{Naive: true})
+			}
+		}},
+		{"CombineSerial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				combine.Run(combineIn, part, pre.Placement, combine.DefaultConfig())
+			}
+		}},
+		{"Fig8Short", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.Fig8(fig8Opts)
+			}
+		}},
+	}
+
+	out := benchFile{
+		Date:       time.Now().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Benchmarks: map[string]benchResult{},
+	}
+	for _, bench := range benches {
+		fmt.Fprintf(os.Stderr, "[bench %s]\n", bench.name)
+		r := testing.Benchmark(bench.fn)
+		out.Benchmarks[bench.name] = benchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+out.Date+".json")
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
+	return nil
+}

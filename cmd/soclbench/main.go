@@ -27,8 +27,18 @@ func main() {
 		svg        = flag.String("svg", "", "directory for SVG chart output (optional)")
 		replot     = flag.String("replot", "", "re-render SVGs from existing CSVs in this directory (skips running experiments)")
 		optLimit   = flag.Duration("opt-limit", 0, "per-solve cap for the exact optimizer (default 30s, 3s with -short)")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial; tables are identical either way)")
+		benchjson  = flag.String("benchjson", "", "run the smoke benchmark suite and write BENCH_<date>.json into this directory (skips experiments)")
 	)
 	flag.Parse()
+
+	if *benchjson != "" {
+		if err := runBenchJSON(*benchjson, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "soclbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *replot != "" {
 		dst := *svg
@@ -43,7 +53,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[replotted %d charts into %s]\n", n, dst)
 		return
 	}
-	opts := experiments.Options{Short: *short, Seed: *seed, OutDir: *out, OptTimeLimit: *optLimit}
+	opts := experiments.Options{Short: *short, Seed: *seed, OutDir: *out, OptTimeLimit: *optLimit, Workers: *workers}
 	if err := run(*experiment, opts, *svg); err != nil {
 		fmt.Fprintln(os.Stderr, "soclbench:", err)
 		os.Exit(1)

@@ -39,8 +39,8 @@ func RP(in *model.Instance, seed int64) model.Placement {
 
 	fits := func(svc, k int) bool {
 		return !p.Has(svc, k) &&
-			in.StorageUsed(p, k)+cat.Service(svc).Storage <= in.Graph.Node(k).Storage+1e-9 &&
-			cost+cat.Service(svc).DeployCost <= in.Budget+1e-9
+			in.StorageUsed(p, k)+cat.Service(svc).Storage <= in.Graph.Node(k).Storage+model.FeasTol &&
+			cost+cat.Service(svc).DeployCost <= in.Budget+model.FeasTol
 	}
 
 	// Continuity pass.
@@ -84,8 +84,8 @@ func JDR(in *model.Instance) model.Placement {
 
 	fits := func(svc, k int) bool {
 		return !p.Has(svc, k) &&
-			in.StorageUsed(p, k)+cat.Service(svc).Storage <= in.Graph.Node(k).Storage+1e-9 &&
-			cost+cat.Service(svc).DeployCost <= in.Budget+1e-9
+			in.StorageUsed(p, k)+cat.Service(svc).Storage <= in.Graph.Node(k).Storage+model.FeasTol &&
+			cost+cat.Service(svc).DeployCost <= in.Budget+model.FeasTol
 	}
 	place := func(svc, k int) bool {
 		if fits(svc, k) {
@@ -196,18 +196,32 @@ type GCOGResult struct {
 	Evals     int // exact objective evaluations performed
 }
 
-// GCOG runs greedy combine with objective gradient: start from full
-// coverage of every demand site, then repeatedly evaluate every possible
-// single-instance removal with the exact evaluator and apply the best one,
-// until the budget and storage constraints hold and no removal improves the
-// objective.
+// GCOGConfig selects the GC-OG scoring machinery, mirroring combine.Config:
+// the default is the incremental delta-evaluation engine; Naive preserves
+// the from-scratch rescan path for differential testing and as the reference
+// semantics. Mode/Seed pick the routing model used for scoring (zero value =
+// optimal routing, matching Instance.Evaluate).
+type GCOGConfig struct {
+	Naive bool
+	Mode  model.RoutingMode
+	Seed  int64 // consumed only by RouteModeRandom
+}
+
+// GCOG runs greedy combine with objective gradient under the default
+// configuration (incremental scoring, optimal routing).
 func GCOG(in *model.Instance) GCOGResult {
+	return GCOGWithConfig(in, GCOGConfig{})
+}
+
+// gcogInitial builds the shared starting placement: a continuity pass (one
+// instance per used service at — or nearest to — its first demand node),
+// then storage-aware full coverage of every demand site. Shared by the naive
+// and incremental search loops so they start from identical states.
+func gcogInitial(in *model.Instance, used []int) model.Placement {
 	cat := in.Workload.Catalog
 	p := model.NewPlacement(in.M(), in.V())
-	used := append([]int(nil), in.Workload.ServicesUsed()...)
-	sort.Ints(used)
 	roomAt := func(svc, k int) bool {
-		return in.StorageUsed(p, k)+cat.Service(svc).Storage <= in.Graph.Node(k).Storage+1e-9
+		return in.StorageUsed(p, k)+cat.Service(svc).Storage <= in.Graph.Node(k).Storage+model.FeasTol
 	}
 	// Continuity pass first: one instance per service before any redundancy,
 	// so storage cannot be exhausted by early services' copies while later
@@ -234,11 +248,80 @@ func GCOG(in *model.Instance) GCOGResult {
 			}
 		}
 	}
+	return p
+}
 
+// GCOGWithConfig runs greedy combine with objective gradient: start from
+// full coverage of every demand site, then repeatedly evaluate every
+// possible single-instance removal with the exact evaluator and apply the
+// best one, until the budget and storage constraints hold and no removal
+// improves the objective.
+//
+// The incremental path scores each candidate removal through a
+// model.DeltaEvaluator probe (Apply → Eval → Revert), re-routing only the
+// requests that traversed the removed instance; the naive path re-evaluates
+// the whole placement from scratch per candidate. Both count one Eval per
+// candidate and are bit-identical in outcome (see TestGCOGDifferential).
+func GCOGWithConfig(in *model.Instance, cfg GCOGConfig) GCOGResult {
+	used := append([]int(nil), in.Workload.ServicesUsed()...)
+	sort.Ints(used)
+	p := gcogInitial(in, used)
+	if cfg.Naive {
+		return gcogNaive(in, cfg, used, p)
+	}
+
+	de := model.NewDeltaEvaluator(in, p, cfg.Mode, cfg.Seed)
 	res := GCOGResult{}
 	maxRounds := in.M()*in.V() + 16
 	for ; res.Rounds < maxRounds; res.Rounds++ {
-		cur := in.Evaluate(p)
+		cur := de.Eval()
+		res.Evals++
+		needReduce := cur.OverBudget
+
+		bestObj := cur.Objective
+		bestSvc, bestK := -1, -1
+		forcedObj := math.Inf(1)
+		forcedSvc, forcedK := -1, -1
+		for _, svc := range used {
+			if de.Placement().Count(svc) <= 1 {
+				continue
+			}
+			// Placement.NodesOf allocates a fresh slice, so a random-mode
+			// probe's internal Apply cannot invalidate the iteration (the
+			// index's cached NodesOf would be rebuilt in place under us).
+			for _, k := range de.Placement().NodesOf(svc) {
+				obj, _ := de.ProbeRemoval(svc, k)
+				res.Evals++
+				if obj < bestObj-model.ObjTol {
+					bestObj, bestSvc, bestK = obj, svc, k
+				}
+				if obj < forcedObj {
+					forcedObj, forcedSvc, forcedK = obj, svc, k
+				}
+			}
+		}
+		switch {
+		case bestSvc != -1:
+			de.Apply(bestSvc, bestK, false)
+		case needReduce && forcedSvc != -1:
+			// No improving move but the budget still binds: take the
+			// least-damaging removal.
+			de.Apply(forcedSvc, forcedK, false)
+		default:
+			return GCOGResult{Placement: de.Placement(), Rounds: res.Rounds, Evals: res.Evals}
+		}
+	}
+	res.Placement = de.Placement()
+	return res
+}
+
+// gcogNaive is the reference search loop: identical move selection, every
+// candidate scored by a from-scratch EvaluateRouted.
+func gcogNaive(in *model.Instance, cfg GCOGConfig, used []int, p model.Placement) GCOGResult {
+	res := GCOGResult{}
+	maxRounds := in.M()*in.V() + 16
+	for ; res.Rounds < maxRounds; res.Rounds++ {
+		cur := in.EvaluateRouted(p, cfg.Mode, cfg.Seed)
 		res.Evals++
 		needReduce := cur.OverBudget
 
@@ -252,9 +335,9 @@ func GCOG(in *model.Instance) GCOGResult {
 			}
 			for _, k := range p.NodesOf(svc) {
 				p.Set(svc, k, false)
-				ev := in.Evaluate(p)
+				ev := in.EvaluateRouted(p, cfg.Mode, cfg.Seed)
 				res.Evals++
-				if ev.Objective < bestObj-1e-12 {
+				if ev.Objective < bestObj-model.ObjTol {
 					bestObj, bestSvc, bestK = ev.Objective, svc, k
 				}
 				if ev.Objective < forcedObj {

@@ -1,0 +1,66 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestGCOGDifferential proves the incremental GC-OG search is the naive one:
+// identical placements bit for bit, identical round and eval counts, across
+// seeds, budgets (binding and slack) and both deterministic route modes.
+func TestGCOGDifferential(t *testing.T) {
+	// Random mode exercises ProbeRemoval's mutate-and-revert fallback; the
+	// deterministic modes exercise the memoized counterfactual path.
+	modes := []model.RoutingMode{model.RouteModeOptimal, model.RouteModeGreedy, model.RouteModeRandom}
+	budgets := []float64{4000, 9000}
+	for _, mode := range modes {
+		for seed := int64(1); seed <= 3; seed++ {
+			for _, budget := range budgets {
+				in := makeInstance(9, 35, seed, budget)
+				cfg := GCOGConfig{Mode: mode, Seed: seed}
+				inc := GCOGWithConfig(in, cfg)
+				cfg.Naive = true
+				nai := GCOGWithConfig(in, cfg)
+
+				label := func(what string) string {
+					return mode.String() + "/seed=" + string(rune('0'+seed)) + what
+				}
+				if inc.Rounds != nai.Rounds || inc.Evals != nai.Evals {
+					t.Fatalf("%s: effort diverges: incremental %d rounds/%d evals, naive %d/%d",
+						label(""), inc.Rounds, inc.Evals, nai.Rounds, nai.Evals)
+				}
+				for i := 0; i < in.M(); i++ {
+					for k := 0; k < in.V(); k++ {
+						if inc.Placement.Has(i, k) != nai.Placement.Has(i, k) {
+							t.Fatalf("%s: placements diverge at x(%d,%d)", label(""), i, k)
+						}
+					}
+				}
+				// Same placement must mean same exact objective, but assert it
+				// anyway: it is the quantity the search optimizes.
+				a := in.EvaluateRouted(inc.Placement, mode, seed)
+				b := in.EvaluateRouted(nai.Placement, mode, seed)
+				//socllint:ignore floateq differential test demands bitwise equality, not approximation
+				if a.Objective != b.Objective {
+					t.Fatalf("%s: objectives diverge %v vs %v", label(""), a.Objective, b.Objective)
+				}
+			}
+		}
+	}
+}
+
+// TestGCOGDefaultIsIncremental pins the public entry point to the fast path
+// while confirming it still matches the documented naive semantics.
+func TestGCOGDefaultIsIncremental(t *testing.T) {
+	in := makeInstance(8, 30, 4, 6000)
+	def := GCOG(in)
+	nai := GCOGWithConfig(in, GCOGConfig{Naive: true})
+	for i := 0; i < in.M(); i++ {
+		for k := 0; k < in.V(); k++ {
+			if def.Placement.Has(i, k) != nai.Placement.Has(i, k) {
+				t.Fatalf("default GCOG diverges from naive at x(%d,%d)", i, k)
+			}
+		}
+	}
+}

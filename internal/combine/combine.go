@@ -129,6 +129,8 @@ type state struct {
 	scratch               *model.RouteScratch     // serial-path DP buffers
 	dirtyBuf              []int                   // reusable re-route worklist
 	zetaCache             map[int]map[int]float64 // service → node → memoized ζ
+	latRow                []float64               // per-request ψ rows for starObjective
+	latRowDirty           []bool                  // rows needing re-derivation
 	cacheHits, recomputed int
 
 	// Static memoization, shared by both engine modes (pure functions of
@@ -394,19 +396,60 @@ func (s *state) stepLatency(h, t, k int) float64 {
 		s.in.Workload.Catalog.Service(req.Chain[t]).Compute/s.in.Graph.Node(k).Compute
 }
 
+// starRow is request h's ψ row: its chain's step latencies summed in
+// t-order under the current reliances, +Inf when a step has no serving
+// instance. Rows are the unit of starObjective's incremental cache — both
+// engine modes sum the same rows in the same order, so cached and
+// from-scratch totals are bitwise identical.
+func (s *state) starRow(h int) float64 {
+	row := 0.0
+	for t, k := range s.rel[h] {
+		if k == -1 {
+			return math.Inf(1)
+		}
+		row += s.stepLatency(h, t, k)
+	}
+	return row
+}
+
 // starObjective is the internal Q of Algorithm 3: λ·cost + (1−λ)·Σψ over
-// current reliances.
+// current reliances. The incremental engine keeps one ψ row per request,
+// re-deriving only rows whose reliances changed since the last call
+// (latRowDirty, maintained by every rel mutation site); the naive path
+// recomputes every row. A +Inf row means a reliance-less step, which makes
+// the whole objective +Inf regardless of λ — matching the historical early
+// return.
 func (s *state) starObjective() float64 {
 	lat := 0.0
-	for h := range s.rel {
-		for t, k := range s.rel[h] {
-			if k == -1 {
+	if s.latRow != nil {
+		for h := range s.latRow {
+			if s.latRowDirty[h] {
+				s.latRow[h] = s.starRow(h)
+				s.latRowDirty[h] = false
+			}
+			if math.IsInf(s.latRow[h], 1) {
 				return math.Inf(1)
 			}
-			lat += s.stepLatency(h, t, k)
+			lat += s.latRow[h]
+		}
+	} else {
+		for h := range s.rel {
+			row := s.starRow(h)
+			if math.IsInf(row, 1) {
+				return math.Inf(1)
+			}
+			lat += row
 		}
 	}
 	return s.in.Objective(s.cost, lat)
+}
+
+// markRowDirty flags request h's ψ row for re-derivation at the next
+// starObjective; a no-op in naive mode, whose rows are never cached.
+func (s *state) markRowDirty(h int) {
+	if s.latRowDirty != nil {
+		s.latRowDirty[h] = true
+	}
 }
 
 // --- latency loss (Algorithm 4) ---
@@ -572,6 +615,7 @@ func (s *state) removeInstance(svc, node int) [][2]int {
 			h, t := ht[0], ht[1]
 			nk := s.pickReliance(h, t, -1)
 			s.rel[h][t] = nk
+			s.markRowDirty(h)
 			s.relyAdd(svc, nk, h, t)
 		}
 		return moved
@@ -757,12 +801,14 @@ func (s *state) serialPhase(cfg Config, res *Result) {
 // the live structures rather than swapping slice headers, so the serial
 // loop runs allocation-free.
 type snapState struct {
-	place    model.Placement
-	rel      [][]int
-	cost     float64
-	frozen   map[instKey]bool
-	migrated int
-	routes   []cachedRoute
+	place       model.Placement
+	rel         [][]int
+	cost        float64
+	frozen      map[instKey]bool
+	migrated    int
+	routes      []cachedRoute
+	latRow      []float64
+	latRowDirty []bool
 }
 
 func (s *state) saveSnapshot(res *Result) {
@@ -776,6 +822,10 @@ func (s *state) saveSnapshot(res *Result) {
 		sn.frozen = make(map[instKey]bool, len(s.frozen))
 		if s.routes != nil {
 			sn.routes = make([]cachedRoute, len(s.routes))
+		}
+		if s.latRow != nil {
+			sn.latRow = make([]float64, len(s.latRow))
+			sn.latRowDirty = make([]bool, len(s.latRowDirty))
 		}
 	} else {
 		for i := range s.place.X {
@@ -794,6 +844,10 @@ func (s *state) saveSnapshot(res *Result) {
 	sn.migrated = res.Migrated
 	if s.routes != nil {
 		copy(sn.routes, s.routes)
+	}
+	if s.latRow != nil {
+		copy(sn.latRow, s.latRow)
+		copy(sn.latRowDirty, s.latRowDirty)
 	}
 }
 
@@ -816,6 +870,10 @@ func (s *state) restoreSnapshot(res *Result) {
 		s.idx.Rebind(s.place) // contents changed in place: invalidate all
 		s.rebuildRelianceIndex()
 		copy(s.routes, sn.routes)
+	}
+	if s.latRow != nil {
+		copy(s.latRow, sn.latRow)
+		copy(s.latRowDirty, sn.latRowDirty)
 	}
 }
 
@@ -851,7 +909,7 @@ func (s *state) deadlineViolatedNaive() bool {
 			}
 			d = s.in.Cloud.CloudCompletionTime(s.in.Workload.Catalog, req)
 		}
-		if d > req.Deadline+1e-9 {
+		if d > req.Deadline+model.FeasTol {
 			return true
 		}
 	}
@@ -869,12 +927,12 @@ func (s *state) storagePlanning(res *Result) bool {
 	for i := 0; i < in.M(); i++ {
 		totalNeed += float64(len(s.nodesOf(i))) * in.Workload.Catalog.Service(i).Storage
 	}
-	if totalNeed > in.Graph.TotalStorage()+1e-9 {
+	if totalNeed > in.Graph.TotalStorage()+model.FeasTol {
 		return false
 	}
 	for k := 0; k < in.V(); k++ {
 		guard := 0
-		for in.StorageUsed(s.place, k) > in.Graph.Node(k).Storage+1e-9 {
+		for in.StorageUsed(s.place, k) > in.Graph.Node(k).Storage+model.FeasTol {
 			guard++
 			if guard > in.M()+1 {
 				return false
@@ -1012,7 +1070,7 @@ func (s *state) migrate(svc, k int, res *Result) bool {
 		if s.place.Has(svc, c.q) {
 			continue
 		}
-		if in.StorageUsed(s.place, c.q)+phi > in.Graph.Node(c.q).Storage+1e-9 {
+		if in.StorageUsed(s.place, c.q)+phi > in.Graph.Node(c.q).Storage+model.FeasTol {
 			continue
 		}
 		// Move: deployment cost is unchanged (one instance either way).
@@ -1029,6 +1087,7 @@ func (s *state) migrate(svc, k int, res *Result) bool {
 				h, t := ht[0], ht[1]
 				nk := s.pickReliance(h, t, -1)
 				s.rel[h][t] = nk
+				s.markRowDirty(h)
 				s.relyAdd(svc, nk, h, t)
 			}
 		} else {

@@ -46,6 +46,12 @@ func (s *state) initIncremental() {
 	reqs := s.in.Workload.Requests
 	s.routes = make([]cachedRoute, len(reqs))
 	s.chainReqs = make(map[int][]int)
+	// starObjective's ψ-row cache: everything dirty until the first call.
+	s.latRow = make([]float64, len(reqs))
+	s.latRowDirty = make([]bool, len(reqs))
+	for h := range s.latRowDirty {
+		s.latRowDirty[h] = true
+	}
 	for h := range reqs {
 		if math.IsInf(reqs[h].Deadline, 1) {
 			continue // never deadline-checked, never cached
@@ -227,7 +233,7 @@ func (s *state) deadlineViolatedIncremental() bool {
 
 	for _, h := range s.finite {
 		e := &s.routes[h]
-		if e.missing || e.lat > s.in.Workload.Requests[h].Deadline+1e-9 {
+		if e.missing || e.lat > s.in.Workload.Requests[h].Deadline+model.FeasTol {
 			return true
 		}
 	}

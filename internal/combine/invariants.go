@@ -38,6 +38,25 @@ func (s *state) checkPhaseInvariants(where string) {
 	}
 	s.checkRelianceIndex(where)
 	s.checkRouteCache(where)
+	s.checkStarRows(where)
+}
+
+// checkStarRows verifies starObjective's ψ-row cache: every clean row must
+// equal its from-scratch re-derivation bitwise — a dirty flag missed by some
+// rel mutation site would silently skew the serial phase's accept/revert
+// decisions otherwise.
+func (s *state) checkStarRows(where string) {
+	if !invariant.Enabled || s.latRow == nil {
+		return
+	}
+	for h := range s.latRow {
+		if s.latRowDirty[h] {
+			continue
+		}
+		fresh := s.starRow(h)
+		invariant.Assertf(invariant.AlmostEq(s.latRow[h], fresh, 0),
+			"combine %s: cached ψ row %d = %v != recomputed %v", where, h, s.latRow[h], fresh)
+	}
 }
 
 // checkRelianceIndex verifies relyIdx against rel in both directions: every

@@ -33,6 +33,10 @@ type Options struct {
 	OptTimeLimit time.Duration
 	// OutDir, when non-empty, receives one CSV per table.
 	OutDir string
+	// Workers bounds the sweep worker pool (runSweep): 0 means GOMAXPROCS,
+	// 1 forces serial execution. Parallel and serial runs produce identical
+	// tables; see sweep.go for the determinism contract.
+	Workers int
 }
 
 // DefaultOptions returns full-scale settings with seed 1.

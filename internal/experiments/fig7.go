@@ -15,6 +15,10 @@ import (
 // with a per-solve time cap, reporting its incumbent when capped (marked
 // "(cap)") — mirroring how the paper reports Gurobi at scales where exact
 // solving stops being practical.
+//
+// Both sweeps run through the parallel executor. Objective columns are
+// deterministic per seed; the runtime columns (and a capped OPT's
+// incumbent) remain wall-clock-dependent exactly as they were serially.
 func Fig7(opts Options) (*Table, *Table) {
 	userScales := []int{10, 20, 30, 40, 50, 60}
 	nodeScales := []int{5, 10, 15, 20, 25, 30}
@@ -34,22 +38,24 @@ func Fig7(opts Options) (*Table, *Table) {
 		Title:  "OPT vs SoCL over user scale (objective & runtime)",
 		Header: []string{"users", "opt_obj", "socl_obj", "gap_pct", "opt_runtime_s", "socl_runtime_s", "opt_status"},
 	}
-	for _, u := range userScales {
-		addOptVsSoCL(users, fixedNodes, u, itoa(u), limit, opts.Seed)
-	}
+	users.Rows = runSweep(opts, "fig7ab", len(userScales), func(i int, seed int64) []string {
+		u := userScales[i]
+		return optVsSoCLRow(fixedNodes, u, itoa(u), limit, seed)
+	})
 
 	nodes := &Table{
 		ID:     "fig7cd",
 		Title:  "OPT vs SoCL over edge-node scale (objective & runtime)",
 		Header: []string{"nodes", "opt_obj", "socl_obj", "gap_pct", "opt_runtime_s", "socl_runtime_s", "opt_status"},
 	}
-	for _, v := range nodeScales {
-		addOptVsSoCL(nodes, v, fixedUsers, itoa(v), limit, opts.Seed)
-	}
+	nodes.Rows = runSweep(opts, "fig7cd", len(nodeScales), func(i int, seed int64) []string {
+		v := nodeScales[i]
+		return optVsSoCLRow(v, fixedUsers, itoa(v), limit, seed)
+	})
 	return users, nodes
 }
 
-func addOptVsSoCL(t *Table, nodes, users int, label string, limit time.Duration, seed int64) {
+func optVsSoCLRow(nodes, users int, label string, limit time.Duration, seed int64) []string {
 	in := buildInstance(nodes, users, 8000, seed)
 
 	t0 := time.Now()
@@ -76,5 +82,5 @@ func addOptVsSoCL(t *Table, nodes, users int, label string, limit time.Duration,
 	if optObj > 0 {
 		gap = (soclObj - optObj) / optObj * 100
 	}
-	t.AddRow(label, f1(optObj), f1(soclObj), f3(gap), sec(res.Elapsed), sec(soclTime), status)
+	return []string{label, f1(optObj), f1(soclObj), f3(gap), sec(res.Elapsed), sec(soclTime), status}
 }

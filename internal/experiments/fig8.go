@@ -13,6 +13,11 @@ import (
 // The paper's shape — SoCL lowest at every scale, GC-OG second but slow,
 // JDR inflated by redundancy, RP worst and degrading fastest — is what this
 // driver regenerates, together with each algorithm's decision runtime.
+//
+// User scales run through the parallel sweep executor (one instance per
+// point, derived seed); within a point the four placements are scored by a
+// single DeltaEvaluator advanced placement-to-placement, so only the
+// requests the placement diff touches are re-routed between algorithms.
 func Fig8(opts Options) *Table {
 	userScales := []int{80, 120, 160, 200}
 	nodes := 10
@@ -26,8 +31,11 @@ func Fig8(opts Options) *Table {
 		Header: []string{"users", "algorithm", "objective", "cost", "latency_sum",
 			"runtime_s", "instances"},
 	}
-	for _, u := range userScales {
-		in := buildInstance(nodes, u, 8000, opts.Seed)
+	rows := runSweep(opts, "fig8", len(userScales), func(i int, seed int64) [][]string {
+		u := userScales[i]
+		in := buildInstance(nodes, u, 8000, seed)
+		var out [][]string
+		var de *model.DeltaEvaluator
 		for _, algo := range fig8Algorithms(opts) {
 			t0 := time.Now()
 			p, err := algo.place(in)
@@ -35,10 +43,19 @@ func Fig8(opts Options) *Table {
 			if err != nil {
 				panic(err)
 			}
-			ev := in.Evaluate(p)
-			t.AddRow(itoa(u), algo.name, f1(ev.Objective), f1(ev.Cost),
-				f1(ev.LatencySum), sec(el), itoa(p.Instances()))
+			if de == nil {
+				de = model.NewDeltaEvaluator(in, p, model.RouteModeOptimal, 0)
+			} else {
+				de.AdvanceTo(p)
+			}
+			ev := de.Eval()
+			out = append(out, []string{itoa(u), algo.name, f1(ev.Objective), f1(ev.Cost),
+				f1(ev.LatencySum), sec(el), itoa(p.Instances())})
 		}
+		return out
+	})
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r...)
 	}
 	return t
 }

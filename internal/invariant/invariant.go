@@ -114,7 +114,7 @@ func CheckDeadlines(in *model.Instance, p model.Placement, where string) {
 			}
 			d = in.Cloud.CloudCompletionTime(in.Workload.Catalog, req)
 		}
-		if d > req.Deadline+1e-9 {
+		if d > req.Deadline+model.FeasTol {
 			panic(fmt.Sprintf("invariant: %s: request %d completes at %.6g > deadline %.6g (Eq. 4)", where, req.ID, d, req.Deadline))
 		}
 	}

@@ -1,0 +1,599 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// This file is the reusable delta-evaluation engine: the generalization of
+// the PR-1 combine machinery (PlacementIndex + per-request route cache) to
+// every consumer of the exact evaluator. A DeltaEvaluator binds to one
+// Instance and one Placement and answers Eval() — the exact Eq. 1–6
+// evaluation, bit-identical to Instance.EvaluateRouted — while re-routing
+// only the requests whose candidate sets a mutation could have changed:
+//
+//   - removing an instance (optimal/greedy routing) invalidates exactly the
+//     cached routes that executed a chain step on it: shrinking a candidate
+//     set around a still-available argmin cannot change that argmin, and the
+//     DP/greedy tie-breaks (first minimum in ascending node order) are
+//     stable under deletion of non-selected candidates;
+//   - adding an instance invalidates every request whose chain contains the
+//     service: a grown candidate set can strictly improve routes that never
+//     touched the old nodes;
+//   - random routing invalidates on any mutation of a chain service, because
+//     the per-request stream indexes into the candidate list by position.
+//
+// The scalar fields of the returned Evaluation are *recomputed* per Eval —
+// LatencySum as a fresh index-order pass over the latency vector, Cost via
+// DeployCost, the constraint flags via CheckStorage/CheckBudget — so they are
+// bitwise equal to a from-scratch evaluation, not approximately equal. Only
+// routing, the dominant cost, is cached.
+//
+// Staleness is epoch-checked: the evaluator owns its PlacementIndex, stamps
+// every mutation it performs, and panics if the index's Epoch moved without
+// it — a placement write that bypassed Apply/Revert/AdvanceTo would silently
+// poison the cache otherwise (the bug class the placementmut analyzer hunts
+// statically).
+
+// deltaRoute is one request's cached routing outcome under the bound
+// placement. The class flags mirror EvaluateRouted's routeOne: exactly one
+// of {routed (nodes/lat), cloud, missing} applies; valid=false means the
+// entry must be re-routed before the next Eval reads it.
+type deltaRoute struct {
+	nodes   []int   // optimal/greedy/random assignment; nil when cloud, missing, or disconnected
+	lat     float64 // completion time (may be +Inf for disconnected substrates)
+	gen     uint64  // evalGen at last re-route; lets Revert spot probe-era entries
+	cloud   bool    // served by the cloud fallback (ErrNoInstance + Cloud)
+	missing bool    // ErrNoInstance with no cloud
+	valid   bool
+}
+
+// routeSave is one saved cache entry inside a Delta undo record.
+type routeSave struct {
+	h int
+	e deltaRoute
+}
+
+// affectedAlt pairs a request with its memoized probe latency during a
+// ProbeRemoval merge-walk.
+type affectedAlt struct {
+	h   int
+	lat float64
+}
+
+// excludeLister adapts the placement index to a counterfactual candidate
+// view with one instance hidden, preserving ascending node order so the
+// routing tie-breaks match an index with the bit actually cleared.
+type excludeLister struct {
+	ix        *PlacementIndex
+	svc, node int
+	buf       []int
+}
+
+func (x *excludeLister) NodesOf(s int) []int {
+	ns := x.ix.NodesOf(s)
+	if s != x.svc {
+		return ns
+	}
+	x.buf = x.buf[:0]
+	for _, k := range ns {
+		if k != x.node {
+			x.buf = append(x.buf, k)
+		}
+	}
+	return x.buf
+}
+
+// Delta is the undo record of one Apply: reverting it restores both the
+// placement bit and the cache entries the mutation invalidated, so an
+// Apply → Eval → Revert probe leaves the evaluator exactly as it was — the
+// pattern GC-OG's candidate search runs thousands of times per round.
+// Outstanding deltas must be reverted in LIFO order.
+type Delta struct {
+	svc, node int
+	val       bool
+	noop      bool   // Apply found the bit already at val; nothing to undo
+	gen       uint64 // evalGen at Apply; later-stamped entries were probe-routed
+	saved     []routeSave
+	reverted  bool
+}
+
+// DeltaEvaluator scores a sequence of adjacent placements incrementally.
+// Not safe for concurrent use; Eval internally fans re-routing out over
+// goroutines when the dirty set is large, mirroring EvaluateRouted.
+type DeltaEvaluator struct {
+	in   *Instance
+	ix   *PlacementIndex
+	mode RoutingMode
+	seed int64
+
+	epoch     uint64       // expected index epoch; any drift fails loudly
+	evalGen   uint64       // bumped per refresh; stamps recomputed entries
+	routes    []deltaRoute // per-request cache
+	chainReqs [][]int      // service → requests whose chain contains it
+	scratch   *RouteScratch
+	dirtyBuf  []int
+	spare     []routeSave // recycled Delta backing storage
+
+	// Removal-probe memo (ProbeRemoval): altLat[h][t] is request h's exact
+	// completion time if the instance its route uses at chain step t were
+	// removed. A row is valid while chainGen[h] — bumped on every placement
+	// mutation of a service in h's chain — matches altGen[h]; entries fill
+	// lazily. This is what lets GC-OG's candidate sweep skip re-routing for
+	// every request whose chain the previous round's accepted move did not
+	// touch.
+	chainGen []uint64
+	altGen   []uint64
+	altLat   [][]float64
+	altSet   [][]bool
+	affBuf   []affectedAlt
+	exclude  excludeLister
+	kappa    []float64 // per-service deploy cost, mirrors Catalog lookups
+
+	// Telemetry: cache hits vs re-routes across Eval calls.
+	Hits, Recomputed int
+}
+
+// NewDeltaEvaluator binds an evaluator to in and p under the given routing
+// mode (seed matters only for RouteModeRandom, with the same per-request
+// stream derivation as EvaluateRouted). The placement is aliased: all
+// further mutations must go through Apply/Revert/AdvanceTo or Rebind.
+// Lambda and Budget may change on in between Evals — objective and
+// constraint checks are recomputed fresh — but the graph and workload must
+// not.
+func NewDeltaEvaluator(in *Instance, p Placement, mode RoutingMode, seed int64) *DeltaEvaluator {
+	d := &DeltaEvaluator{
+		in:      in,
+		ix:      NewPlacementIndex(p),
+		mode:    mode,
+		seed:    seed,
+		scratch: &RouteScratch{},
+	}
+	d.epoch = d.ix.Epoch()
+	d.routes = make([]deltaRoute, len(in.Workload.Requests))
+	d.chainGen = make([]uint64, len(in.Workload.Requests))
+	d.chainReqs = make([][]int, in.M())
+	d.kappa = make([]float64, in.M())
+	for i := range d.kappa {
+		d.kappa[i] = in.Workload.Catalog.Service(i).DeployCost
+	}
+	for h := range in.Workload.Requests {
+		for t, svc := range in.Workload.Requests[h].Chain {
+			dup := false
+			for _, prev := range in.Workload.Requests[h].Chain[:t] {
+				if prev == svc {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				d.chainReqs[svc] = append(d.chainReqs[svc], h)
+			}
+		}
+	}
+	return d
+}
+
+// Index exposes the underlying placement index (read-only use; mutating it
+// directly desynchronizes the evaluator, which the next Eval reports).
+func (d *DeltaEvaluator) Index() *PlacementIndex { return d.ix }
+
+// Placement returns the bound placement (aliased, not a copy).
+func (d *DeltaEvaluator) Placement() Placement { return d.ix.Placement() }
+
+// checkEpoch panics when the index mutated behind the evaluator's back.
+func (d *DeltaEvaluator) checkEpoch(op string) {
+	if e := d.ix.Epoch(); e != d.epoch {
+		panic(fmt.Sprintf("model: DeltaEvaluator %s on stale binding: index epoch %d, evaluator expected %d (placement mutated outside Apply/Revert/AdvanceTo)", op, e, d.epoch))
+	}
+}
+
+// Apply sets x(svc,node)=val and returns the undo record. Applying a value
+// the placement already holds is a no-op that still returns a (trivially
+// revertible) delta. The mutation invalidates the affected cache entries per
+// the rules in the file comment; each valid entry it invalidates is saved
+// into the delta, so a Revert restores both placement and cache exactly.
+func (d *DeltaEvaluator) Apply(svc, node int, val bool) *Delta {
+	d.checkEpoch("Apply")
+	dl := &Delta{svc: svc, node: node, val: val, gen: d.evalGen, saved: d.spare[:0]}
+	d.spare = nil
+	if d.ix.Has(svc, node) == val {
+		dl.noop = true
+		return dl // nothing saved, nothing invalidated
+	}
+	d.ix.Set(svc, node, val)
+	d.epoch = d.ix.Epoch()
+	d.invalidate(svc, node, val, dl)
+	return dl
+}
+
+// Revert undoes a delta from Apply: the placement bit and all invalidated
+// cache entries return to their pre-Apply state; entries that were already
+// invalid at Apply time and got re-routed during the probe window (their gen
+// outruns the delta's) are re-invalidated, since their content reflects the
+// probe placement. Reverting twice panics; overlapping deltas must revert in
+// LIFO order.
+func (d *DeltaEvaluator) Revert(dl *Delta) {
+	d.checkEpoch("Revert")
+	if dl.reverted {
+		panic("model: DeltaEvaluator.Revert called twice on the same delta")
+	}
+	dl.reverted = true
+	if dl.noop {
+		return
+	}
+	d.ix.Set(dl.svc, dl.node, !dl.val)
+	d.epoch = d.ix.Epoch()
+	for _, h := range d.chainReqs[dl.svc] {
+		d.chainGen[h]++ // reverting is itself a mutation of svc's candidates
+		if e := &d.routes[h]; e.gen > dl.gen {
+			e.valid = false
+		}
+	}
+	for _, sv := range dl.saved {
+		d.routes[sv.h] = sv.e
+	}
+	d.spare = dl.saved[:0] // recycle the backing array for the next Apply
+}
+
+// invalidate applies the mode-specific invalidation rule for a single
+// mutation of (svc, node), saving each previously-valid entry it flips into
+// dl's undo record (dl == nil when the caller keeps none, e.g. AdvanceTo).
+func (d *DeltaEvaluator) invalidate(svc, node int, added bool, dl *Delta) {
+	if added || d.mode == RouteModeRandom {
+		// Additions can improve any route over svc; random routing indexes
+		// candidate lists by position, so any resize reshuffles the draws.
+		for _, h := range d.chainReqs[svc] {
+			d.chainGen[h]++ // drop probe memos: their candidate view is stale
+			if e := &d.routes[h]; e.valid {
+				if dl != nil {
+					dl.saved = append(dl.saved, routeSave{h, *e})
+				}
+				e.valid = false
+			}
+		}
+		return
+	}
+	// Removal under optimal/greedy: only routes that executed a step on the
+	// removed instance can change (see the file comment for the tie-break
+	// argument).
+	for _, h := range d.chainReqs[svc] {
+		d.chainGen[h]++ // drop probe memos: their candidate view is stale
+		e := &d.routes[h]
+		if !e.valid || e.nodes == nil {
+			continue
+		}
+		chain := d.in.Workload.Requests[h].Chain
+		for t, k := range e.nodes {
+			if k == node && chain[t] == svc {
+				if dl != nil {
+					dl.saved = append(dl.saved, routeSave{h, *e})
+				}
+				e.valid = false
+				break
+			}
+		}
+	}
+}
+
+// AdvanceTo mutates the bound placement into p (diff-and-apply, no undo) and
+// returns the number of instance bits changed. It is the sweep entry point:
+// successive placements of a figure sweep share most of their instances, so
+// the next Eval re-routes only requests whose services actually moved.
+func (d *DeltaEvaluator) AdvanceTo(p Placement) int {
+	d.checkEpoch("AdvanceTo")
+	cur := d.ix.Placement()
+	if len(p.X) != len(cur.X) {
+		panic(fmt.Sprintf("model: DeltaEvaluator.AdvanceTo placement shape %d services != bound %d", len(p.X), len(cur.X)))
+	}
+	changed := 0
+	for i := range p.X {
+		for k := range p.X[i] {
+			if cur.X[i][k] == p.X[i][k] {
+				continue
+			}
+			val := p.X[i][k]
+			d.ix.Set(i, k, val)
+			d.invalidate(i, k, val, nil)
+			changed++
+		}
+	}
+	d.epoch = d.ix.Epoch()
+	return changed
+}
+
+// Rebind points the evaluator at a (possibly different) placement and drops
+// every cached route.
+func (d *DeltaEvaluator) Rebind(p Placement) {
+	d.ix.Rebind(p)
+	d.epoch = d.ix.Epoch()
+	for h := range d.routes {
+		d.routes[h] = deltaRoute{}
+		d.chainGen[h]++
+	}
+}
+
+// deltaParallelThreshold is the dirty-request count above which Eval's
+// re-route fan-out goes parallel (same pattern and determinism argument as
+// EvaluateRouted / combine's incremental deadline check).
+const deltaParallelThreshold = 64
+
+// rerouteOne refreshes request h's cache entry under the live placement.
+func (d *DeltaEvaluator) rerouteOne(h int, sc *RouteScratch) {
+	req := &d.in.Workload.Requests[h]
+	var (
+		a   Assignment
+		lat float64
+		err error
+	)
+	switch d.mode {
+	case RouteModeGreedy:
+		a, lat, err = d.in.routeGreedy(req, d.ix)
+	case RouteModeRandom:
+		// Independent per-request stream: identical to EvaluateRouted's.
+		rng := rand.New(rand.NewSource(d.seed + int64(h)*0x9e3779b9))
+		a, lat, err = d.in.routeRandom(req, d.ix, rng)
+	default:
+		a, lat, err = d.in.routeOptimal(req, d.ix, sc)
+	}
+	e := &d.routes[h]
+	*e = deltaRoute{valid: true, gen: d.evalGen}
+	switch {
+	case err == nil:
+		e.nodes, e.lat = a.Nodes, lat
+	case IsNoInstance(err) && d.in.Cloud != nil:
+		// Sentinel discipline as everywhere: only ErrNoInstance is eligible
+		// for the cloud fallback; any other error counts as missing.
+		e.cloud = true
+		e.lat = d.in.Cloud.CloudCompletionTime(d.in.Workload.Catalog, req)
+	default:
+		e.missing = true
+		e.lat = math.Inf(1)
+	}
+}
+
+// refresh re-routes every invalidated cache entry under the live placement,
+// stamping the new entries with a fresh generation.
+func (d *DeltaEvaluator) refresh() {
+	d.evalGen++
+	dirty := d.dirtyBuf[:0]
+	for h := range d.routes {
+		if !d.routes[h].valid {
+			dirty = append(dirty, h)
+		}
+	}
+	d.dirtyBuf = dirty
+	d.Recomputed += len(dirty)
+	d.Hits += len(d.routes) - len(dirty)
+
+	if len(dirty) >= deltaParallelThreshold && runtime.GOMAXPROCS(0) > 1 {
+		d.ix.Prewarm() // concurrent NodesOf reads must not rebuild
+		workers := runtime.GOMAXPROCS(0)
+		chunk := (len(dirty) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(dirty) {
+				hi = len(dirty)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				sc := &RouteScratch{}
+				for _, h := range dirty[lo:hi] {
+					d.rerouteOne(h, sc)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for _, h := range dirty {
+			d.rerouteOne(h, d.scratch)
+		}
+	}
+}
+
+// EvalObjective is the probe-loop fast path: the exact objective (Eq. 3/8)
+// and budget flag of the bound placement, bit-identical to the same fields
+// of Eval, without materializing the full Evaluation. Search loops that
+// compare thousands of candidates per round (GC-OG) only consume these two
+// scalars, so skipping the per-request Routes/Latencies assembly removes the
+// dominant allocation from the hot path.
+func (d *DeltaEvaluator) EvalObjective() (objective float64, overBudget bool) {
+	d.checkEpoch("EvalObjective")
+	d.refresh()
+	p := d.ix.Placement()
+	cost := d.in.DeployCost(p)
+	latSum := 0.0
+	for h := range d.routes {
+		latSum += d.routes[h].lat
+	}
+	objective = d.in.Objective(cost, latSum)
+	overBudget = !(cost <= d.in.Budget+FeasTol)
+	d.selfCheckDeltaScalars(objective, overBudget)
+	return objective, overBudget
+}
+
+// ProbeRemoval answers "what would the exact objective be with x(svc,node)
+// cleared?" without mutating the binding — bit-identical to an
+// Apply → EvalObjective → Revert round-trip. Under optimal/greedy routing the
+// only requests whose routes can change are those currently executing a step
+// on the probed instance; their counterfactual latencies are memoized in
+// altLat and survive until some service in their chain actually mutates, so
+// a GC-OG candidate sweep pays re-routing only for requests the previous
+// accepted move touched. Random-mode probes fall back to the mutate-and-
+// revert path, whose per-request streams have no removal locality to
+// exploit.
+func (d *DeltaEvaluator) ProbeRemoval(svc, node int) (objective float64, overBudget bool) {
+	d.checkEpoch("ProbeRemoval")
+	if !d.ix.Has(svc, node) || d.mode == RouteModeRandom {
+		if d.ix.Has(svc, node) {
+			dl := d.Apply(svc, node, false)
+			objective, overBudget = d.EvalObjective()
+			d.Revert(dl)
+			return objective, overBudget
+		}
+		return d.EvalObjective() // removing an absent instance is the identity
+	}
+	d.refresh()
+	if d.altLat == nil {
+		reqs := d.in.Workload.Requests
+		d.altGen = make([]uint64, len(reqs))
+		d.altLat = make([][]float64, len(reqs))
+		d.altSet = make([][]bool, len(reqs))
+		for h := range reqs {
+			d.altLat[h] = make([]float64, len(reqs[h].Chain))
+			d.altSet[h] = make([]bool, len(reqs[h].Chain))
+			d.altGen[h] = d.chainGen[h] - 1 // force a reset on first touch
+		}
+	}
+
+	// Collect the affected requests (chainReqs is ascending in h, so the
+	// buffer is sorted for the merge below) and their memoized-or-computed
+	// counterfactual latencies.
+	aff := d.affBuf[:0]
+	for _, h := range d.chainReqs[svc] {
+		e := &d.routes[h]
+		if e.nodes == nil {
+			continue // cloud/missing/disconnected: removal cannot affect it
+		}
+		chain := d.in.Workload.Requests[h].Chain
+		t0 := -1
+		for t, k := range e.nodes {
+			if k == node && chain[t] == svc {
+				t0 = t
+				break
+			}
+		}
+		if t0 == -1 {
+			continue
+		}
+		if d.altGen[h] != d.chainGen[h] {
+			for t := range d.altSet[h] {
+				d.altSet[h][t] = false
+			}
+			d.altGen[h] = d.chainGen[h]
+		}
+		if !d.altSet[h][t0] {
+			d.altLat[h][t0] = d.probeLat(h, svc, node)
+			d.altSet[h][t0] = true
+		}
+		aff = append(aff, affectedAlt{h, d.altLat[h][t0]})
+	}
+	d.affBuf = aff
+
+	// Merge-walk: identical summation order and values as EvalObjective on
+	// the mutated placement, hence a bitwise-identical LatencySum.
+	latSum := 0.0
+	ai := 0
+	for h := range d.routes {
+		if ai < len(aff) && aff[ai].h == h {
+			latSum += aff[ai].lat
+			ai++
+		} else {
+			latSum += d.routes[h].lat
+		}
+	}
+	cost := d.deployCostExcluding(svc, node)
+	objective = d.in.Objective(cost, latSum)
+	overBudget = !(cost <= d.in.Budget+FeasTol)
+	d.selfCheckProbe(svc, node, objective, overBudget)
+	return objective, overBudget
+}
+
+// probeLat routes request h against the candidate view with (svc,node)
+// hidden and returns its completion time, classified exactly as rerouteOne
+// would under a placement with the bit cleared.
+func (d *DeltaEvaluator) probeLat(h, svc, node int) float64 {
+	req := &d.in.Workload.Requests[h]
+	d.exclude = excludeLister{ix: d.ix, svc: svc, node: node, buf: d.exclude.buf}
+	var (
+		lat float64
+		err error
+	)
+	if d.mode == RouteModeGreedy {
+		_, lat, err = d.in.routeGreedy(req, &d.exclude)
+	} else {
+		lat, err = d.in.routeOptimalLat(req, &d.exclude, d.scratch)
+	}
+	switch {
+	case err == nil:
+		return lat
+	case IsNoInstance(err) && d.in.Cloud != nil:
+		return d.in.Cloud.CloudCompletionTime(d.in.Workload.Catalog, req)
+	default:
+		return math.Inf(1)
+	}
+}
+
+// deployCostExcluding mirrors Instance.DeployCost's exact iteration order
+// with one instance skipped, so the partial sums — and therefore the result
+// — are bitwise what DeployCost would return on the placement with the bit
+// cleared.
+func (d *DeltaEvaluator) deployCostExcluding(svc, node int) float64 {
+	p := d.ix.Placement()
+	cost := 0.0
+	for i := range p.X {
+		kappa := d.kappa[i]
+		for k, on := range p.X[i] {
+			if on && !(i == svc && k == node) {
+				cost += kappa
+			}
+		}
+	}
+	return cost
+}
+
+// Eval returns the exact evaluation of the bound placement — bit-identical
+// to in.EvaluateRouted(Placement(), mode, seed) — re-routing only requests
+// invalidated since the previous Eval. The returned Evaluation's Routes
+// share node slices with the cache; they stay correct until the next
+// mutation through the evaluator (re-routes install fresh slices, never
+// mutate published ones).
+func (d *DeltaEvaluator) Eval() *Evaluation {
+	d.checkEpoch("Eval")
+	reqs := d.in.Workload.Requests
+	d.refresh()
+
+	p := d.ix.Placement()
+	ev := &Evaluation{
+		Placement:         p,
+		Routes:            make([]Assignment, len(reqs)),
+		Latencies:         make([]float64, len(reqs)),
+		Cost:              d.in.DeployCost(p),
+		StorageViolatedAt: d.in.CheckStorage(p),
+	}
+	ev.OverBudget = !d.in.CheckBudget(p)
+	for h := range reqs {
+		e := &d.routes[h]
+		ev.Latencies[h] = e.lat
+		switch {
+		case e.missing:
+			ev.MissingInstances++
+		case e.cloud:
+			ev.CloudServed++
+			if e.lat > reqs[h].Deadline+FeasTol {
+				ev.DeadlineViolated++
+			}
+		default:
+			ev.Routes[h] = Assignment{Nodes: e.nodes}
+			if e.lat > reqs[h].Deadline+FeasTol {
+				ev.DeadlineViolated++
+			}
+		}
+	}
+	// Fresh index-order sum: bitwise equal to EvaluateRouted's.
+	ev.LatencySum = 0
+	for _, lat := range ev.Latencies {
+		ev.LatencySum += lat
+	}
+	ev.Objective = d.in.Objective(ev.Cost, ev.LatencySum)
+	d.selfCheckDelta(ev)
+	return ev
+}

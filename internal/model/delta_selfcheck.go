@@ -1,0 +1,83 @@
+package model
+
+import "fmt"
+
+// selfCheckDelta revalidates a DeltaEvaluator evaluation against a scratch
+// EvaluateRouted of the same placement — the runtime proof of the engine's
+// central claim that cache hits are exact, not approximate. Armed by the
+// `soclinvariants` build tag (invariantsEnabled), free otherwise. Because
+// every delta consumer funnels through Eval, arming this single check covers
+// GC-OG's per-round candidate probes and the figure sweeps alike.
+func (d *DeltaEvaluator) selfCheckDelta(ev *Evaluation) {
+	if !invariantsEnabled {
+		return
+	}
+	if err := d.ix.CheckCoherent(); err != nil {
+		panic("model: delta eval: " + err.Error())
+	}
+	fresh := d.in.EvaluateRouted(d.ix.Placement(), d.mode, d.seed)
+	if !almostEq(ev.Objective, fresh.Objective, 0) ||
+		!almostEq(ev.LatencySum, fresh.LatencySum, 0) ||
+		!almostEq(ev.Cost, fresh.Cost, 0) {
+		panic(fmt.Sprintf("model: delta eval scalars diverge from scratch evaluation: objective %v vs %v, latency %v vs %v, cost %v vs %v",
+			ev.Objective, fresh.Objective, ev.LatencySum, fresh.LatencySum, ev.Cost, fresh.Cost))
+	}
+	if ev.MissingInstances != fresh.MissingInstances ||
+		ev.CloudServed != fresh.CloudServed ||
+		ev.DeadlineViolated != fresh.DeadlineViolated ||
+		ev.StorageViolatedAt != fresh.StorageViolatedAt ||
+		ev.OverBudget != fresh.OverBudget {
+		panic(fmt.Sprintf("model: delta eval counters diverge from scratch evaluation: %+v vs %+v", countersOf(ev), countersOf(fresh)))
+	}
+	for h := range ev.Routes {
+		if !almostEq(ev.Latencies[h], fresh.Latencies[h], 0) {
+			panic(fmt.Sprintf("model: delta eval request %d latency %v != scratch %v", h, ev.Latencies[h], fresh.Latencies[h]))
+		}
+		a, b := ev.Routes[h].Nodes, fresh.Routes[h].Nodes
+		if len(a) != len(b) {
+			panic(fmt.Sprintf("model: delta eval request %d route %v != scratch %v", h, a, b))
+		}
+		for t := range a {
+			if a[t] != b[t] {
+				panic(fmt.Sprintf("model: delta eval request %d route %v != scratch %v", h, a, b))
+			}
+		}
+	}
+}
+
+// selfCheckDeltaScalars is the EvalObjective counterpart: the fast path's
+// two outputs must match a scratch evaluation exactly.
+func (d *DeltaEvaluator) selfCheckDeltaScalars(objective float64, overBudget bool) {
+	if !invariantsEnabled {
+		return
+	}
+	fresh := d.in.EvaluateRouted(d.ix.Placement(), d.mode, d.seed)
+	if !almostEq(objective, fresh.Objective, 0) || overBudget != fresh.OverBudget {
+		panic(fmt.Sprintf("model: delta EvalObjective diverges from scratch evaluation: objective %v vs %v, overBudget %v vs %v",
+			objective, fresh.Objective, overBudget, fresh.OverBudget))
+	}
+}
+
+// selfCheckProbe revalidates a memoized ProbeRemoval against a scratch
+// evaluation of the counterfactual placement.
+func (d *DeltaEvaluator) selfCheckProbe(svc, node int, objective float64, overBudget bool) {
+	if !invariantsEnabled {
+		return
+	}
+	probe := d.ix.Placement().Clone()
+	probe.Set(svc, node, false)
+	fresh := d.in.EvaluateRouted(probe, d.mode, d.seed)
+	if !almostEq(objective, fresh.Objective, 0) || overBudget != fresh.OverBudget {
+		panic(fmt.Sprintf("model: ProbeRemoval(%d,%d) diverges from scratch evaluation: objective %v vs %v, overBudget %v vs %v",
+			svc, node, objective, fresh.Objective, overBudget, fresh.OverBudget))
+	}
+}
+
+// countersOf extracts the violation counters for diagnostics.
+func countersOf(ev *Evaluation) [5]int {
+	over := 0
+	if ev.OverBudget {
+		over = 1
+	}
+	return [5]int{ev.MissingInstances, ev.CloudServed, ev.DeadlineViolated, ev.StorageViolatedAt, over}
+}

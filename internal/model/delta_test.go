@@ -1,0 +1,185 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// assertEvalIdentical compares a delta evaluation against a from-scratch one
+// bit for bit: scalars, counters, per-request latencies and assignments.
+func assertEvalIdentical(t *testing.T, label string, got, want *Evaluation) {
+	t.Helper()
+	//socllint:ignore floateq the engine's contract is bitwise equality with the scratch evaluator, not approximation
+	if got.Objective != want.Objective || got.LatencySum != want.LatencySum || got.Cost != want.Cost {
+		t.Fatalf("%s: scalars diverge: objective %v/%v latency %v/%v cost %v/%v",
+			label, got.Objective, want.Objective, got.LatencySum, want.LatencySum, got.Cost, want.Cost)
+	}
+	if got.MissingInstances != want.MissingInstances || got.CloudServed != want.CloudServed ||
+		got.DeadlineViolated != want.DeadlineViolated || got.StorageViolatedAt != want.StorageViolatedAt ||
+		got.OverBudget != want.OverBudget {
+		t.Fatalf("%s: counters diverge: %+v vs %+v", label, countersOf(got), countersOf(want))
+	}
+	for h := range want.Routes {
+		gl, wl := got.Latencies[h], want.Latencies[h]
+		if gl != wl && !(math.IsInf(gl, 1) && math.IsInf(wl, 1)) {
+			t.Fatalf("%s: request %d latency %v != %v", label, h, gl, wl)
+		}
+		a, b := got.Routes[h].Nodes, want.Routes[h].Nodes
+		if len(a) != len(b) {
+			t.Fatalf("%s: request %d route %v != %v", label, h, a, b)
+		}
+		for s := range a {
+			if a[s] != b[s] {
+				t.Fatalf("%s: request %d route %v != %v", label, h, a, b)
+			}
+		}
+	}
+}
+
+// TestDeltaEvaluatorMatchesEvaluateRouted walks seeded random mutation
+// sequences — removals, additions, probe-style apply/eval/revert — under all
+// three routing modes and asserts every Eval is bit-identical to evaluating
+// the live placement from scratch.
+func TestDeltaEvaluatorMatchesEvaluateRouted(t *testing.T) {
+	modes := []RoutingMode{RouteModeOptimal, RouteModeGreedy, RouteModeRandom}
+	for _, mode := range modes {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := indexTestInstance(t, 9, 40, seed)
+			p := densePlacement(in, seed)
+			de := NewDeltaEvaluator(in, p.Clone(), mode, seed)
+			r := stats.NewRand(stats.SplitSeed(seed, "delta-walk/"+mode.String()))
+
+			check := func(label string) {
+				got := de.Eval()
+				want := in.EvaluateRouted(de.Placement(), mode, seed)
+				assertEvalIdentical(t, mode.String()+"/"+label, got, want)
+			}
+			check("initial")
+			for step := 0; step < 30; step++ {
+				svc := r.Intn(in.M())
+				k := r.Intn(in.V())
+				switch step % 3 {
+				case 0: // permanent flip
+					de.Apply(svc, k, !de.Placement().Has(svc, k))
+					check("flip")
+				case 1: // removal probe with revert, as GC-OG runs it
+					nodes := de.Placement().NodesOf(svc)
+					if len(nodes) == 0 {
+						continue
+					}
+					before := de.Eval()
+					dl := de.Apply(svc, nodes[r.Intn(len(nodes))], false)
+					check("probe")
+					de.Revert(dl)
+					check("reverted")
+					after := de.Eval()
+					assertEvalIdentical(t, mode.String()+"/revert-roundtrip", after, before)
+				case 2: // addition
+					de.Apply(svc, k, true)
+					check("add")
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaEvaluatorAdvanceTo drives the sweep entry point: jumping between
+// unrelated placements must still evaluate exactly, and a jump to an
+// adjacent placement must not re-route untouched requests.
+func TestDeltaEvaluatorAdvanceTo(t *testing.T) {
+	in := indexTestInstance(t, 10, 50, 3)
+	a := densePlacement(in, 3)
+	b := densePlacement(in, 7)
+	de := NewDeltaEvaluator(in, a.Clone(), RouteModeOptimal, 0)
+	de.Eval()
+
+	if changed := de.AdvanceTo(b); changed == 0 {
+		t.Fatal("distinct placements advanced with zero changes")
+	}
+	assertEvalIdentical(t, "jump", de.Eval(), in.EvaluateRouted(b, RouteModeOptimal, 0))
+
+	// Adjacent step: flip one instance of one service; only its users may be
+	// re-routed.
+	c := b.Clone()
+	var svc int
+	for svc = 0; svc < in.M(); svc++ {
+		if c.Count(svc) > 1 {
+			break
+		}
+	}
+	c.Set(svc, c.NodesOf(svc)[0], false)
+	recomputedBefore := de.Recomputed
+	de.AdvanceTo(c)
+	assertEvalIdentical(t, "adjacent", de.Eval(), in.EvaluateRouted(c, RouteModeOptimal, 0))
+	if delta := de.Recomputed - recomputedBefore; delta > len(in.Workload.Requests)/2 {
+		t.Fatalf("adjacent advance re-routed %d of %d requests; expected a minority",
+			delta, len(in.Workload.Requests))
+	}
+}
+
+// TestDeltaEvaluatorStaleBindingPanics proves the epoch contract: a
+// placement mutation that bypasses the evaluator must make the next Eval
+// fail loudly instead of serving stale routes.
+func TestDeltaEvaluatorStaleBindingPanics(t *testing.T) {
+	in := indexTestInstance(t, 6, 20, 1)
+	de := NewDeltaEvaluator(in, densePlacement(in, 1), RouteModeOptimal, 0)
+	de.Eval()
+	de.Index().Set(0, 0, !de.Placement().Has(0, 0)) // behind the evaluator's back
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Eval on a stale binding did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "stale binding") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	de.Eval()
+}
+
+// TestDeltaEvaluatorCloudAndMissing exercises the fallback classes: removing
+// a service's last instance must flip its users to cloud-served (with the
+// fallback) or missing (without), exactly as the scratch evaluator counts.
+func TestDeltaEvaluatorCloudAndMissing(t *testing.T) {
+	for _, withCloud := range []bool{false, true} {
+		in := indexTestInstance(t, 8, 30, 2)
+		if withCloud {
+			cc := DefaultCloudConfig()
+			in.Cloud = &cc
+		}
+		p := densePlacement(in, 2)
+		de := NewDeltaEvaluator(in, p.Clone(), RouteModeOptimal, 0)
+		de.Eval()
+		// Remove every instance of the first used service.
+		svc := in.Workload.Requests[0].Chain[0]
+		for _, k := range append([]int(nil), de.Placement().NodesOf(svc)...) {
+			de.Apply(svc, k, false)
+		}
+		got := de.Eval()
+		want := in.EvaluateRouted(de.Placement(), RouteModeOptimal, 0)
+		assertEvalIdentical(t, "last-instance", got, want)
+		if withCloud && got.CloudServed == 0 {
+			t.Fatal("cloud fallback configured but no request cloud-served")
+		}
+		if !withCloud && got.MissingInstances == 0 {
+			t.Fatal("no cloud fallback but no request counted missing")
+		}
+	}
+}
+
+// TestDeltaEvaluatorRevertTwicePanics documents the delta lifecycle.
+func TestDeltaEvaluatorRevertTwicePanics(t *testing.T) {
+	in := indexTestInstance(t, 6, 20, 1)
+	de := NewDeltaEvaluator(in, densePlacement(in, 1), RouteModeOptimal, 0)
+	dl := de.Apply(0, 0, !de.Placement().Has(0, 0))
+	de.Revert(dl)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Revert did not panic")
+		}
+	}()
+	de.Revert(dl)
+}

@@ -163,7 +163,7 @@ func (in *Instance) StorageUsed(p Placement, k int) float64 {
 // violating node or -1.
 func (in *Instance) CheckStorage(p Placement) int {
 	for k := 0; k < in.V(); k++ {
-		if in.StorageUsed(p, k) > in.Graph.Node(k).Storage+1e-9 {
+		if in.StorageUsed(p, k) > in.Graph.Node(k).Storage+FeasTol {
 			return k
 		}
 	}
@@ -172,7 +172,7 @@ func (in *Instance) CheckStorage(p Placement) int {
 
 // CheckBudget verifies constraint (5).
 func (in *Instance) CheckBudget(p Placement) bool {
-	return in.DeployCost(p) <= in.Budget+1e-9
+	return in.DeployCost(p) <= in.Budget+FeasTol
 }
 
 // Assignment is a per-request routing decision: Nodes[t] is the edge server
@@ -339,6 +339,56 @@ func (in *Instance) routeOptimal(req *msvc.Request, cand nodeLister, sc *RouteSc
 		}
 	}
 	return Assignment{Nodes: nodes}, best, nil
+}
+
+// routeOptimalLat is routeOptimal without path reconstruction: the same DP
+// forward pass (identical iteration order, so an identical float result) but
+// no backpointer bookkeeping and no Nodes allocation. It serves callers that
+// only consume the completion time — the delta engine's removal probes score
+// thousands of counterfactual placements per search round and discard every
+// path.
+//
+//socllint:sentinel ErrNoInstance
+func (in *Instance) routeOptimalLat(req *msvc.Request, cand nodeLister, sc *RouteScratch) (float64, error) {
+	g := in.Graph
+	cat := in.Workload.Catalog
+	L := len(req.Chain)
+
+	layers := sc.layerBuf(L)
+	for t, s := range req.Chain {
+		layers[t] = cand.NodesOf(s)
+		if len(layers[t]) == 0 {
+			return 0, ErrNoInstance{Request: req.ID, Service: s}
+		}
+	}
+
+	cost := sc.floats(&sc.cost, len(layers[0]))
+	for j, k := range layers[0] {
+		cost[j] = g.TransferTime(req.Home, k, req.DataIn) +
+			cat.Service(req.Chain[0]).Compute/g.Node(k).Compute
+	}
+	for t := 1; t < L; t++ {
+		next := sc.floats(&sc.next, len(layers[t]))
+		for j, k := range layers[t] {
+			best := math.Inf(1)
+			for pj, pk := range layers[t-1] {
+				if c := cost[pj] + g.TransferTime(pk, k, req.EdgeData[t-1]); c < best {
+					best = c
+				}
+			}
+			next[j] = best + cat.Service(req.Chain[t]).Compute/g.Node(k).Compute
+		}
+		sc.cost, sc.next = sc.next, sc.cost
+		cost = next
+	}
+
+	best := math.Inf(1)
+	for j, k := range layers[L-1] {
+		if c := cost[j] + req.DataOut*g.HopPathCost(k, req.Home); c < best {
+			best = c
+		}
+	}
+	return best, nil // +Inf when every candidate chain is disconnected
 }
 
 // RouteGreedy assigns each chain step to the hosting node with the fastest
@@ -518,14 +568,14 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 			if IsNoInstance(err) && in.Cloud != nil {
 				d = in.Cloud.CloudCompletionTime(in.Workload.Catalog, req)
 				ev.Latencies[h] = d
-				return false, d > req.Deadline+1e-9, true
+				return false, d > req.Deadline+FeasTol, true
 			}
 			ev.Latencies[h] = math.Inf(1)
 			return true, false, false
 		}
 		ev.Routes[h] = a
 		ev.Latencies[h] = d
-		return false, d > req.Deadline+1e-9, false
+		return false, d > req.Deadline+FeasTol, false
 	}
 
 	if len(reqs) < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {

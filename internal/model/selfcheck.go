@@ -57,7 +57,7 @@ func (in *Instance) selfCheckEvaluation(ev *Evaluation, ix *PlacementIndex, epoc
 			if IsNoInstance(err) && in.Cloud != nil {
 				d = in.Cloud.CloudCompletionTime(in.Workload.Catalog, req)
 				cloud++
-				if d > req.Deadline+1e-9 {
+				if d > req.Deadline+FeasTol {
 					late++
 				}
 			} else {
@@ -68,7 +68,7 @@ func (in *Instance) selfCheckEvaluation(ev *Evaluation, ix *PlacementIndex, epoc
 				panic(fmt.Sprintf("model: evaluation recount: request %d is unroutable but has assignment %v", h, ev.Routes[h].Nodes))
 			}
 		} else {
-			if d > req.Deadline+1e-9 {
+			if d > req.Deadline+FeasTol {
 				late++
 			}
 			if len(ev.Routes[h].Nodes) != len(a.Nodes) {

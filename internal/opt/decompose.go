@@ -79,10 +79,10 @@ func SolveDecomposed(in *model.Instance, opts Options) (DecomposedResult, error)
 			// total remaining latency headroom is lat − L(∞). When the
 			// headroom cannot repay even one more instance, larger n is
 			// dominated.
-			if s.lambda*s.kappa[si] >= (1-s.lambda)*(lat-linf)-1e-12 {
+			if s.lambda*s.kappa[si] >= (1-s.lambda)*(lat-linf)-model.ObjTol {
 				break
 			}
-			if lat >= prevLat-1e-12 && n > 1 {
+			if lat >= prevLat-model.ObjTol && n > 1 {
 				break // no latency progress; κ only grows
 			}
 			prevLat = lat
@@ -126,10 +126,10 @@ func SolveDecomposed(in *model.Instance, opts Options) (DecomposedResult, error)
 	bestChoice := make([]int, n)
 	var dfs func(i int, cost, val float64)
 	dfs = func(i int, cost, val float64) {
-		if val+minTailVal[i] >= bestTotal-1e-12 {
+		if val+minTailVal[i] >= bestTotal-model.ObjTol {
 			return
 		}
-		if cost+minTailCost[i] > s.budget+1e-9 {
+		if cost+minTailCost[i] > s.budget+model.FeasTol {
 			return
 		}
 		if i == n {
@@ -140,7 +140,7 @@ func SolveDecomposed(in *model.Instance, opts Options) (DecomposedResult, error)
 		si := order[i]
 		for oi, o := range options[si] {
 			c := s.kappa[si] * float64(o.n)
-			if cost+c > s.budget+1e-9 {
+			if cost+c > s.budget+model.FeasTol {
 				continue
 			}
 			choice[i] = oi

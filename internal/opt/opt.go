@@ -378,7 +378,7 @@ func (s *solver) dfs(pos int) {
 		return
 	}
 	lb := s.lowerBound()
-	if math.IsInf(lb, 1) || (s.haveIncumbent && lb >= s.incumbentObj-1e-9) {
+	if math.IsInf(lb, 1) || (s.haveIncumbent && lb >= s.incumbentObj-model.FeasTol) {
 		return
 	}
 	if pos == len(s.order) {
@@ -395,8 +395,8 @@ func (s *solver) dfs(pos int) {
 	// Branch x=1 first (acquiring instances early finds incumbents fast),
 	// when storage, budget and the per-service instance cap permit.
 	if s.instCnt[v.si] < s.capSvc[v.si] &&
-		s.storUsed[v.k]+s.phi[v.si] <= s.storCap[v.k]+1e-9 &&
-		s.costUsed+s.kappa[v.si] <= s.budget+1e-9 {
+		s.storUsed[v.k]+s.phi[v.si] <= s.storCap[v.k]+model.FeasTol &&
+		s.costUsed+s.kappa[v.si] <= s.budget+model.FeasTol {
 		s.fix(v, 1)
 		s.dfs(pos + 1)
 		s.unfix(v, 1)
@@ -452,7 +452,7 @@ func (s *solver) lowerBound() float64 {
 			cost += s.kappa[si]
 		}
 	}
-	if cost > s.budget+1e-9 {
+	if cost > s.budget+model.FeasTol {
 		return math.Inf(1)
 	}
 
@@ -510,7 +510,7 @@ func (s *solver) lowerBound() float64 {
 
 // recordIncumbent stores a fully-fixed state as the new incumbent if better.
 func (s *solver) recordIncumbent(obj float64) {
-	if s.haveIncumbent && obj >= s.incumbentObj-1e-12 {
+	if s.haveIncumbent && obj >= s.incumbentObj-model.ObjTol {
 		return
 	}
 	p := model.NewPlacement(s.in.M(), s.V)
@@ -530,7 +530,7 @@ func (s *solver) recordIncumbent(obj float64) {
 // reporting false when infeasible (missing instance, storage, or budget).
 func (s *solver) starObjectiveOf(p model.Placement) (float64, bool) {
 	cost := s.in.DeployCost(p)
-	if cost > s.budget+1e-9 || s.in.CheckStorage(p) != -1 {
+	if cost > s.budget+model.FeasTol || s.in.CheckStorage(p) != -1 {
 		return 0, false
 	}
 	lat := 0.0
@@ -566,7 +566,7 @@ func (s *solver) tryGreedyIncumbent() {
 	for si, svc := range s.used {
 		bestK, bestTot := -1, math.Inf(1)
 		for k := 0; k < s.V; k++ {
-			if stor[k]+s.phi[si] > s.storCap[k]+1e-9 {
+			if stor[k]+s.phi[si] > s.storCap[k]+model.FeasTol {
 				continue
 			}
 			tot := 0.0
@@ -577,7 +577,7 @@ func (s *solver) tryGreedyIncumbent() {
 				bestTot, bestK = tot, k
 			}
 		}
-		if bestK == -1 || cost+s.kappa[si] > s.budget+1e-9 {
+		if bestK == -1 || cost+s.kappa[si] > s.budget+model.FeasTol {
 			return // no feasible greedy start
 		}
 		p.Set(svc, bestK, true)
@@ -593,15 +593,15 @@ func (s *solver) tryGreedyIncumbent() {
 	for {
 		bestObj, bestSi, bestK := obj, -1, -1
 		for si, svc := range s.used {
-			if cost+s.kappa[si] > s.budget+1e-9 {
+			if cost+s.kappa[si] > s.budget+model.FeasTol {
 				continue
 			}
 			for k := 0; k < s.V; k++ {
-				if p.Has(svc, k) || stor[k]+s.phi[si] > s.storCap[k]+1e-9 {
+				if p.Has(svc, k) || stor[k]+s.phi[si] > s.storCap[k]+model.FeasTol {
 					continue
 				}
 				p.Set(svc, k, true)
-				if o, ok := s.starObjectiveOf(p); ok && o < bestObj-1e-12 {
+				if o, ok := s.starObjectiveOf(p); ok && o < bestObj-model.ObjTol {
 					bestObj, bestSi, bestK = o, si, k
 				}
 				p.Set(svc, k, false)

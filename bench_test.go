@@ -129,6 +129,46 @@ func BenchmarkOptExactSmall(b *testing.B) {
 	}
 }
 
+// BenchmarkOptSolve compares the exact solver across search backends: the
+// naive serial reference, the deterministic engine on one worker, and the
+// engine at GOMAXPROCS. On a single-core runner the last two coincide; the
+// parallel speedup is only observable on a multicore runner.
+func BenchmarkOptSolve(b *testing.B) {
+	in := benchInstance(8, 10, 1)
+	run := func(b *testing.B, o opt.Options) {
+		o.TimeLimit = 30 * time.Second
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Solve(in, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("naive", func(b *testing.B) { run(b, opt.Options{Naive: true}) })
+	b.Run("serial", func(b *testing.B) { run(b, opt.Options{Workers: 1}) })
+	b.Run("parallel", func(b *testing.B) { run(b, opt.Options{}) })
+}
+
+// BenchmarkILPSolve compares the generic bounded MIP solver across search
+// backends (same axes as BenchmarkOptSolve). The bounded model also
+// exercises the warm-started node LPs.
+func BenchmarkILPSolve(b *testing.B) {
+	in := benchInstance(4, 4, 1)
+	run := func(b *testing.B, o ilp.Options) {
+		o.TimeLimit = time.Minute
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, _ := ilp.BuildSoCLBounded(in)
+			if _, err := ilp.SolveBounded(m, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("naive", func(b *testing.B) { run(b, ilp.Options{Naive: true}) })
+	b.Run("serial", func(b *testing.B) { run(b, ilp.Options{Workers: 1}) })
+	b.Run("parallel", func(b *testing.B) { run(b, ilp.Options{}) })
+}
+
 // --- SoCL pipeline stages ---
 
 func BenchmarkSoCLSolve10x40(b *testing.B) {

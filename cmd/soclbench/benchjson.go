@@ -12,8 +12,10 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/combine"
 	"repro/internal/experiments"
+	"repro/internal/ilp"
 	"repro/internal/model"
 	"repro/internal/msvc"
+	"repro/internal/opt"
 	"repro/internal/partition"
 	"repro/internal/preprov"
 	"repro/internal/topology"
@@ -61,6 +63,8 @@ func runBenchJSON(dir string, workers int) error {
 	part := partition.Build(combineIn, partition.DefaultConfig())
 	pre := preprov.Run(combineIn, part)
 	fig8Opts := experiments.Options{Short: true, Seed: 1, Workers: workers}
+	optIn := benchJSONInstance(8, 10, 1)
+	ilpIn := benchJSONInstance(4, 4, 1)
 
 	benches := []struct {
 		name string
@@ -84,6 +88,40 @@ func runBenchJSON(dir string, workers int) error {
 		{"Fig8Short", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				experiments.Fig8(fig8Opts)
+			}
+		}},
+		// Exact-solver stack (the Fig2/Fig7 OPT columns): naive serial
+		// reference vs the deterministic engine at one worker vs the engine
+		// at the configured worker count. On a single-core runner the last
+		// two coincide — the parallel speedup needs a multicore runner.
+		{"OptSolveNaive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveOpt(optIn, opt.Options{TimeLimit: 30 * time.Second, Naive: true})
+			}
+		}},
+		{"OptSolveSerial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveOpt(optIn, opt.Options{TimeLimit: 30 * time.Second, Workers: 1})
+			}
+		}},
+		{"OptSolveParallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveOpt(optIn, opt.Options{TimeLimit: 30 * time.Second, Workers: workers})
+			}
+		}},
+		{"ILPSolveNaive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveILP(ilpIn, ilp.Options{TimeLimit: time.Minute, Naive: true})
+			}
+		}},
+		{"ILPSolveSerial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveILP(ilpIn, ilp.Options{TimeLimit: time.Minute, Workers: 1})
+			}
+		}},
+		{"ILPSolveParallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveILP(ilpIn, ilp.Options{TimeLimit: time.Minute, Workers: workers})
 			}
 		}},
 	}
@@ -118,4 +156,17 @@ func runBenchJSON(dir string, workers int) error {
 	}
 	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
 	return nil
+}
+
+func mustSolveOpt(in *model.Instance, o opt.Options) {
+	if _, err := opt.Solve(in, o); err != nil {
+		panic(err)
+	}
+}
+
+func mustSolveILP(in *model.Instance, o ilp.Options) {
+	m, _ := ilp.BuildSoCLBounded(in)
+	if _, err := ilp.SolveBounded(m, o); err != nil {
+		panic(err)
+	}
 }

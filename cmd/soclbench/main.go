@@ -27,7 +27,7 @@ func main() {
 		svg        = flag.String("svg", "", "directory for SVG chart output (optional)")
 		replot     = flag.String("replot", "", "re-render SVGs from existing CSVs in this directory (skips running experiments)")
 		optLimit   = flag.Duration("opt-limit", 0, "per-solve cap for the exact optimizer (default 30s, 3s with -short)")
-		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS, 1 = serial; tables are identical either way)")
+		workers    = flag.Int("workers", 0, "worker pool size for sweeps and the exact solver's branch-and-bound (0 = GOMAXPROCS, 1 = serial; tables are identical either way)")
 		benchjson  = flag.String("benchjson", "", "run the smoke benchmark suite and write BENCH_<date>.json into this directory (skips experiments)")
 	)
 	flag.Parse()

@@ -1,6 +1,6 @@
 // Package detrand enforces determinism in the reproducibility-critical
-// packages (model, combine, topology, stats): every result there must be a
-// pure function of the instance and an explicit seed.
+// packages (model, combine, topology, stats, ilp, opt): every result there
+// must be a pure function of the instance and an explicit seed.
 //
 // Flagged inside those packages:
 //
@@ -11,6 +11,14 @@
 //     source. Constructing explicitly seeded generators via rand.New /
 //     rand.NewSource / rand.NewZipf / rand.NewPCG / rand.NewChaCha8 remains
 //     allowed; *rand.Rand methods are untouched.
+//
+// In the exact-solver packages (ilp, opt) one more pattern is flagged:
+// ranging over a map. Go randomizes map iteration order per run, so a map
+// range in a branch-and-bound path can reorder branching decisions or
+// incumbent updates between otherwise identical runs — exactly the
+// nondeterminism the parallel engines' differential tests pin down. Ranges
+// whose result is provably order-independent (scatter into a dense slice,
+// commutative accumulation) carry a reasoned //socllint:ignore.
 package detrand
 
 import (
@@ -23,7 +31,7 @@ import (
 // Analyzer is the detrand pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
-	Doc:  "flags time.Now and global math/rand use in the deterministic packages",
+	Doc:  "flags time.Now, global math/rand, and (in the solver packages) map iteration in the deterministic packages",
 	Run:  run,
 }
 
@@ -33,6 +41,17 @@ var deterministicPkgs = map[string]bool{
 	"combine":  true,
 	"topology": true,
 	"stats":    true,
+	"ilp":      true,
+	"opt":      true,
+}
+
+// mapRangePkgs are the packages where ranging over a map is additionally
+// flagged: the exact solvers promise schedule-independent results (parallel
+// incumbent == serial incumbent, bit for bit), and a map iteration inside
+// the search is the classic way to silently break that promise.
+var mapRangePkgs = map[string]bool{
+	"ilp": true,
+	"opt": true,
 }
 
 // randConstructors are the math/rand package-level functions that build
@@ -49,8 +68,18 @@ func run(pass *analysis.Pass) (any, error) {
 	if !deterministicPkgs[pass.Pkg.Name()] {
 		return nil, nil
 	}
+	mapRanges := mapRangePkgs[pass.Pkg.Name()]
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			if rs, ok := n.(*ast.RangeStmt); ok && mapRanges {
+				if t := pass.TypeOf(rs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(rs.Pos(),
+							"map iteration in solver package %s: order is randomized per run; iterate sorted keys or a slice", pass.Pkg.Name())
+					}
+				}
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true

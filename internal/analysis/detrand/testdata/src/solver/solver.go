@@ -1,0 +1,45 @@
+// Package ilp (fixture) exercises the solver-package extras: map iteration
+// is flagged on top of the base time/rand checks.
+package ilp
+
+import "time"
+
+func sumOverMap(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "map iteration in solver package ilp"
+		total += v
+	}
+	return total
+}
+
+func keysOnly(m map[int]float64) int {
+	n := 0
+	for k := range m { // want "map iteration in solver package ilp"
+		n += k
+	}
+	return n
+}
+
+func scatterAllowed(m map[int]float64, dense []float64) {
+	//socllint:ignore detrand fixture: scatter into a dense slice is order-independent
+	for j, v := range m {
+		dense[j] = v
+	}
+}
+
+func sliceRange(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs { // ok: slice iteration is ordered
+		total += v
+	}
+	return total
+}
+
+func deadlineCheck() time.Time {
+	return time.Now() // want "time.Now in deterministic package ilp"
+}
+
+func deadlineAllowed() time.Time {
+	//socllint:ignore detrand fixture: wall-clock time limit is an explicit Options knob
+	return time.Now()
+}

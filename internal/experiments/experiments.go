@@ -33,9 +33,11 @@ type Options struct {
 	OptTimeLimit time.Duration
 	// OutDir, when non-empty, receives one CSV per table.
 	OutDir string
-	// Workers bounds the sweep worker pool (runSweep): 0 means GOMAXPROCS,
-	// 1 forces serial execution. Parallel and serial runs produce identical
-	// tables; see sweep.go for the determinism contract.
+	// Workers bounds the sweep worker pool (runSweep) AND the exact solver's
+	// internal branch-and-bound pool (opt.Options.Workers for the Fig2/Fig7
+	// OPT columns): 0 means GOMAXPROCS, 1 forces serial execution. Parallel
+	// and serial runs produce identical tables; see sweep.go and DESIGN.md §9
+	// for the two determinism contracts.
 	Workers int
 }
 

@@ -319,7 +319,7 @@ func ExtDecompose(opts Options) *Table {
 		if err != nil {
 			panic(err)
 		}
-		bb, err := opt.Solve(in, opt.Options{TimeLimit: limit})
+		bb, err := opt.Solve(in, opt.Options{TimeLimit: limit, Workers: opts.Workers})
 		if err != nil {
 			panic(err)
 		}

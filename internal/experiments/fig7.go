@@ -40,7 +40,7 @@ func Fig7(opts Options) (*Table, *Table) {
 	}
 	users.Rows = runSweep(opts, "fig7ab", len(userScales), func(i int, seed int64) []string {
 		u := userScales[i]
-		return optVsSoCLRow(fixedNodes, u, itoa(u), limit, seed)
+		return optVsSoCLRow(fixedNodes, u, itoa(u), limit, seed, opts.Workers)
 	})
 
 	nodes := &Table{
@@ -50,12 +50,12 @@ func Fig7(opts Options) (*Table, *Table) {
 	}
 	nodes.Rows = runSweep(opts, "fig7cd", len(nodeScales), func(i int, seed int64) []string {
 		v := nodeScales[i]
-		return optVsSoCLRow(v, fixedUsers, itoa(v), limit, seed)
+		return optVsSoCLRow(v, fixedUsers, itoa(v), limit, seed, opts.Workers)
 	})
 	return users, nodes
 }
 
-func optVsSoCLRow(nodes, users int, label string, limit time.Duration, seed int64) []string {
+func optVsSoCLRow(nodes, users int, label string, limit time.Duration, seed int64, workers int) []string {
 	in := buildInstance(nodes, users, 8000, seed)
 
 	t0 := time.Now()
@@ -66,7 +66,7 @@ func optVsSoCLRow(nodes, users int, label string, limit time.Duration, seed int6
 	soclTime := time.Since(t0)
 	soclObj := sol.Evaluation.Objective
 
-	res, err := opt.Solve(in, opt.Options{TimeLimit: limit, WarmStart: &sol.Placement})
+	res, err := opt.Solve(in, opt.Options{TimeLimit: limit, WarmStart: &sol.Placement, Workers: workers})
 	if err != nil {
 		panic(err)
 	}

@@ -33,11 +33,23 @@ func (m *BoundedMIP) Validate() error {
 }
 
 // SolveBounded runs branch and bound over the bounded-variable relaxation.
-// Semantics match Solve (same Options and Result).
+// Semantics match Solve (same Options and Result): the warm-started parallel
+// engine by default (engine.go), the original serial search under opt.Naive.
 func SolveBounded(m *BoundedMIP, opt Options) (Result, error) {
 	if err := m.Validate(); err != nil {
 		return Result{}, err
 	}
+	if opt.Naive {
+		return solveBoundedNaive(m, opt)
+	}
+	return solveBoundedEngine(m, opt)
+}
+
+// solveBoundedNaive is the reference search: serial, depth-first, one
+// cloned problem and from-scratch SolveBounded per node. Pinned against the
+// engine by the differential tests; must not change behaviour.
+func solveBoundedNaive(m *BoundedMIP, opt Options) (Result, error) {
+	//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
 	start := time.Now()
 	deadline := time.Time{}
 	if opt.TimeLimit > 0 {
@@ -63,6 +75,7 @@ func SolveBounded(m *BoundedMIP, opt Options) (Result, error) {
 		if opt.MaxNodes > 0 && res.Nodes >= opt.MaxNodes {
 			break
 		}
+		//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
@@ -94,6 +107,7 @@ func SolveBounded(m *BoundedMIP, opt Options) (Result, error) {
 		switch sol.Status {
 		case lp.Infeasible:
 			if !rootSolved {
+				//socllint:ignore detrand elapsed wall time is reported, never branched on
 				return Result{Status: Infeasible, Nodes: res.Nodes, Elapsed: time.Since(start)}, nil
 			}
 			continue
@@ -151,6 +165,7 @@ func SolveBounded(m *BoundedMIP, opt Options) (Result, error) {
 		stack = append(stack, up, down)
 	}
 done:
+	//socllint:ignore detrand elapsed wall time is reported, never branched on
 	res.Elapsed = time.Since(start)
 	res.Bound = rootBound
 	if incumbent == nil {

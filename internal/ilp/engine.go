@@ -1,0 +1,608 @@
+// Parallel branch-and-bound engine shared by Solve (row-based MIP, cold
+// bounds-overlay node LPs) and SolveBounded (bounded MIP, warm-started node
+// LPs). Architecture (DESIGN.md §9):
+//
+//   - a serial, deterministic breadth-first expansion grows the tree to a
+//     fixed-size frontier of unexplored subtree roots;
+//   - a fixed-size worker pool (Options.Workers, default GOMAXPROCS) claims
+//     frontier subtrees in order via an atomic cursor and explores each
+//     depth-first;
+//   - the incumbent is shared through an atomic best-objective (lock-free
+//     reads on the prune path) plus a mutex-guarded vector with a
+//     deterministic tie-break: at equal objective within model.ObjTol the
+//     lexicographically smallest solution vector wins;
+//   - node and time limits are enforced globally through one atomic node
+//     counter and a shared deadline.
+//
+// Determinism: every node's LP result is a pure function of its tree
+// position (row engine: cold solve of base+bounds; bounded engine: warm from
+// its parent for dive children, from the shared root snapshot for queued
+// siblings — never from whatever a worker last touched), and pruning keeps
+// ties alive (a subtree is cut only when its bound exceeds the incumbent by
+// more than model.ObjTol). Every solution within ObjTol of the optimum is
+// therefore enumerated under every schedule, and the lexicographic tie-break
+// picks the same winner — so any worker count returns the same result, which
+// the differential tests pin against the serial reference.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/invariant"
+	"repro/internal/lp"
+	"repro/internal/model"
+)
+
+// resolveWorkers maps the Options.Workers knob to a pool size.
+func resolveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// frontierTarget is the expansion size: the serial breadth-first prefix
+// stops once this many unexplored subtree roots are queued. It is a fixed
+// constant — NOT a function of the worker count — so the expansion phase,
+// and with it each node's warm-start lineage, is identical for every
+// Options.Workers value.
+const frontierTarget = 64
+
+// mostFractional returns the most fractional integer variable of x, or -1
+// when x is integer feasible — the same branching rule as the naive search.
+func mostFractional(integer []bool, x []float64) int {
+	branchVar, frac := -1, 0.0
+	for j := range integer {
+		if !integer[j] {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		d := math.Min(f, 1-f)
+		if d > intTol && d > frac {
+			frac, branchVar = d, j
+		}
+	}
+	return branchVar
+}
+
+// lexLessX orders solution vectors for the incumbent tie-break: elementwise,
+// integer variables compared on their rounded values first so LP noise on an
+// integral variable cannot flip the order.
+func lexLessX(a, b []float64, integer []bool) bool {
+	for j := range a {
+		av, bv := a[j], b[j]
+		if j < len(integer) && integer[j] {
+			av, bv = math.Round(av), math.Round(bv)
+		}
+		if av < bv {
+			return true
+		}
+		if av > bv {
+			return false
+		}
+	}
+	return false
+}
+
+// incumbentStore shares the incumbent between workers. bits carries the best
+// objective for lock-free prune reads; the vector and the tie-break run
+// under the mutex.
+type incumbentStore struct {
+	mu   sync.Mutex
+	bits atomic.Uint64
+	x    []float64
+	obj  float64
+	ok   bool
+}
+
+func (s *incumbentStore) init() { s.bits.Store(math.Float64bits(math.Inf(1))) }
+
+// best returns the current best objective (+Inf read as "no incumbent").
+func (s *incumbentStore) best() (float64, bool) {
+	v := math.Float64frombits(s.bits.Load())
+	return v, !math.IsInf(v, 1)
+}
+
+// offer installs x as the incumbent when it is strictly better than the
+// current one (beyond model.ObjTol), or tied within model.ObjTol and
+// lexicographically smaller. Reports whether x was installed.
+func (s *incumbentStore) offer(x []float64, obj float64, integer []bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ok {
+		if obj > s.obj+model.ObjTol {
+			return false
+		}
+		if obj >= s.obj-model.ObjTol && !lexLessX(x, s.x, integer) {
+			return false
+		}
+	}
+	s.x = append(s.x[:0], x...)
+	s.obj, s.ok = obj, true
+	s.bits.Store(math.Float64bits(obj))
+	return true
+}
+
+// take returns the final incumbent after all workers have stopped.
+func (s *incumbentStore) take() ([]float64, float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ok {
+		return nil, math.Inf(1), false
+	}
+	return append([]float64(nil), s.x...), s.obj, true
+}
+
+// engineState is the control block shared by both engine variants.
+type engineState struct {
+	opt       Options
+	store     incumbentStore
+	nodes     atomic.Int64
+	aborted   atomic.Bool
+	gapStop   atomic.Bool
+	deadline  time.Time
+	rootBound float64
+}
+
+func (e *engineState) stopped() bool { return e.aborted.Load() || e.gapStop.Load() }
+
+// countNode claims one node against the global limits, reporting false (and
+// flagging the abort) when a limit is hit.
+func (e *engineState) countNode() bool {
+	n := e.nodes.Add(1)
+	if e.opt.MaxNodes > 0 && n > int64(e.opt.MaxNodes) {
+		e.aborted.Store(true)
+		return false
+	}
+	//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.aborted.Store(true)
+		return false
+	}
+	return true
+}
+
+// pruned is the tie-keeping bound test: a subtree is cut only when its bound
+// exceeds the incumbent by more than model.ObjTol, so equal-objective
+// solutions stay reachable under every schedule (the determinism argument
+// needs the full tie class enumerated).
+func (e *engineState) pruned(bound float64) bool {
+	best, ok := e.store.best()
+	return ok && bound > best+model.ObjTol
+}
+
+// noteIncumbent runs after a successful offer: it checks the gap stop.
+func (e *engineState) noteIncumbent() {
+	if e.opt.Gap <= 0 {
+		return
+	}
+	if best, ok := e.store.best(); ok && gapOK(best, e.rootBound, e.opt.Gap) {
+		e.gapStop.Store(true)
+	}
+}
+
+// finish assembles the Result exactly as the naive searches do: Optimal when
+// the tree was exhausted (or the gap target met), Feasible/NoSolution when a
+// limit stopped the search, Infeasible when exhaustion found no integer
+// point. Nodes is clamped to MaxNodes (the counter may overshoot by the
+// worker count).
+func (e *engineState) finish(start time.Time) Result {
+	res := Result{Objective: math.Inf(1), Bound: e.rootBound}
+	//socllint:ignore detrand elapsed wall time is reported, never branched on
+	res.Elapsed = time.Since(start)
+	n := e.nodes.Load()
+	if e.opt.MaxNodes > 0 && n > int64(e.opt.MaxNodes) {
+		n = int64(e.opt.MaxNodes)
+	}
+	res.Nodes = int(n)
+	x, obj, ok := e.store.take()
+	aborted := e.aborted.Load()
+	if !ok {
+		if aborted {
+			res.Status = NoSolution
+		} else {
+			res.Status = Infeasible
+		}
+		return res
+	}
+	res.X = x
+	res.Objective = obj
+	if !aborted || (e.opt.Gap > 0 && gapOK(obj, e.rootBound, e.opt.Gap)) {
+		res.Status = Optimal
+	} else {
+		res.Status = Feasible
+	}
+	return res
+}
+
+// runFrontier drains the frontier with a worker pool; process explores one
+// subtree and returns its first error.
+func runFrontier[N any](e *engineState, workers int, frontier []N, process func(N, int) error) error {
+	if len(frontier) == 0 || e.stopped() {
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for !e.stopped() {
+				i := next.Add(1) - 1
+				if i >= int64(len(frontier)) {
+					return
+				}
+				if err := process(frontier[i], worker); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					e.aborted.Store(true)
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// --- row-based engine (Solve) ---
+
+type rowEngine struct {
+	engineState
+	m *MIP
+}
+
+// solveRowEngine is the parallel counterpart of solveNaive. Node LPs are
+// cold bounds-overlay solves of the shared base problem — a pure function of
+// the node's branch bounds, so results are schedule-independent by
+// construction.
+func solveRowEngine(m *MIP, opt Options) (Result, error) {
+	workers := resolveWorkers(opt.Workers)
+	//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
+	start := time.Now()
+	e := &rowEngine{m: m}
+	e.opt = opt
+	e.rootBound = math.Inf(-1)
+	e.store.init()
+	if opt.TimeLimit > 0 {
+		e.deadline = start.Add(opt.TimeLimit)
+	}
+	ws := &lp.Workspace{}
+
+	// Root relaxation, handled explicitly so Infeasible/Unbounded map to the
+	// same results the naive search returns.
+	e.nodes.Add(1)
+	rootSol, err := solveNodeLP(m.Prob, nil, ws)
+	if err != nil {
+		return Result{}, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		//socllint:ignore detrand elapsed wall time is reported, never branched on
+		return Result{Status: Infeasible, Nodes: 1, Elapsed: time.Since(start)}, nil
+	case lp.Unbounded:
+		return Result{}, fmt.Errorf("ilp: relaxation unbounded")
+	case lp.IterLimit:
+		res := e.finish(start)
+		return res, nil
+	}
+	e.rootBound = rootSol.Objective
+
+	var queue []bbNode
+	if bv := mostFractional(m.Integer, rootSol.X); bv == -1 {
+		if e.store.offer(rootSol.X, rootSol.Objective, m.Integer) {
+			e.verify(rootSol.X, rootSol.Objective)
+			e.noteIncumbent()
+		}
+	} else {
+		fl := math.Floor(rootSol.X[bv])
+		queue = append(queue,
+			bbNode{bounds: []branchBound{{Var: bv, Upper: true, Val: fl}}, lpObj: rootSol.Objective},
+			bbNode{bounds: []branchBound{{Var: bv, Upper: false, Val: fl + 1}}, lpObj: rootSol.Objective})
+	}
+
+	// Deterministic breadth-first expansion to the frontier.
+	for len(queue) > 0 && len(queue) < frontierTarget && !e.stopped() {
+		nd := queue[0]
+		queue = queue[1:]
+		down, up, branched, perr := e.processNode(nd, ws)
+		if perr != nil {
+			return Result{}, perr
+		}
+		if branched {
+			queue = append(queue, down, up)
+		}
+	}
+
+	err = runFrontier(&e.engineState, workers, queue, func(nd bbNode, _ int) error {
+		return e.dfsFrom(nd)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return e.finish(start), nil
+}
+
+// processNode solves one node; when it branches, down/up are the two
+// children (the down branch is the dive-first child, mirroring the naive
+// LIFO order).
+func (e *rowEngine) processNode(nd bbNode, ws *lp.Workspace) (down, up bbNode, branched bool, err error) {
+	if !e.countNode() {
+		return
+	}
+	if len(nd.bounds) > 0 && e.pruned(nd.lpObj) {
+		return
+	}
+	sol, serr := solveNodeLP(e.m.Prob, nd.bounds, ws)
+	if serr != nil {
+		err = serr
+		return
+	}
+	if sol.Status != lp.Optimal {
+		return // Infeasible/IterLimit: unexplorable; Unbounded cannot occur below the root
+	}
+	if e.pruned(sol.Objective) {
+		return
+	}
+	bv := mostFractional(e.m.Integer, sol.X)
+	if bv == -1 {
+		if e.store.offer(sol.X, sol.Objective, e.m.Integer) {
+			e.verify(sol.X, sol.Objective)
+			e.noteIncumbent()
+		}
+		return
+	}
+	fl := math.Floor(sol.X[bv])
+	down = bbNode{bounds: appendBound(nd.bounds, branchBound{Var: bv, Upper: true, Val: fl}), lpObj: sol.Objective}
+	up = bbNode{bounds: appendBound(nd.bounds, branchBound{Var: bv, Upper: false, Val: fl + 1}), lpObj: sol.Objective}
+	branched = true
+	return
+}
+
+// dfsFrom explores one frontier subtree depth-first (down child first).
+func (e *rowEngine) dfsFrom(root bbNode) error {
+	ws := &lp.Workspace{}
+	stack := []bbNode{root}
+	for len(stack) > 0 && !e.stopped() {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		down, up, branched, err := e.processNode(nd, ws)
+		if err != nil {
+			return err
+		}
+		if branched {
+			stack = append(stack, up, down)
+		}
+	}
+	return nil
+}
+
+// verify re-checks an accepted incumbent against the base problem from
+// scratch under -tags soclinvariants: constraint rows, nonnegativity,
+// integrality, and the objective recomputation.
+func (e *rowEngine) verify(x []float64, obj float64) {
+	if !invariant.Enabled {
+		return
+	}
+	for j, isInt := range e.m.Integer {
+		if isInt {
+			invariant.Assertf(math.Abs(x[j]-math.Round(x[j])) <= intTol,
+				"ilp engine incumbent: variable %d = %v is not integral", j, x[j])
+		}
+	}
+	invariant.CheckLPRowSolution(e.m.Prob, x, obj, "ilp engine incumbent")
+}
+
+func appendBound(bounds []branchBound, b branchBound) []branchBound {
+	out := make([]branchBound, len(bounds)+1)
+	copy(out, bounds)
+	out[len(bounds)] = b
+	return out
+}
+
+// --- bounded engine (SolveBounded) ---
+
+type boundedNode struct {
+	lower, upper []float64
+	lpObj        float64
+}
+
+type boundedEngine struct {
+	engineState
+	m *BoundedMIP
+	// snap is the root relaxation's tableau. Queued siblings restart from it
+	// (one Restore per stack node) so their LP lineage never depends on what
+	// a worker solved previously; dive children warm directly from their
+	// parent's tableau, which in depth-first order is always the last solve.
+	snap *lp.WarmSnapshot
+}
+
+// solveBoundedEngine is the parallel, warm-started counterpart of
+// solveBoundedNaive.
+func solveBoundedEngine(m *BoundedMIP, opt Options) (Result, error) {
+	workers := resolveWorkers(opt.Workers)
+	//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
+	start := time.Now()
+	e := &boundedEngine{m: m}
+	e.opt = opt
+	e.rootBound = math.Inf(-1)
+	e.store.init()
+	if opt.TimeLimit > 0 {
+		e.deadline = start.Add(opt.TimeLimit)
+	}
+	ws, err := lp.NewWarmSolver(m.Prob)
+	if err != nil {
+		return Result{}, err
+	}
+
+	e.nodes.Add(1)
+	rootSol, err := ws.SolveWithBounds(m.Prob.Lower, m.Prob.Upper)
+	if err != nil {
+		return Result{}, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		//socllint:ignore detrand elapsed wall time is reported, never branched on
+		return Result{Status: Infeasible, Nodes: 1, Elapsed: time.Since(start)}, nil
+	case lp.Unbounded:
+		return Result{}, fmt.Errorf("ilp: relaxation unbounded")
+	case lp.IterLimit:
+		return e.finish(start), nil
+	}
+	e.rootBound = rootSol.Objective
+	//socllint:ignore snapshotpair root snapshot is stored on the engine; every queued/frontier node Restores it (processNode fromSnapshot=true)
+	e.snap = ws.Snapshot()
+
+	var queue []boundedNode
+	if bv := mostFractional(m.Integer, rootSol.X); bv == -1 {
+		if e.store.offer(rootSol.X, rootSol.Objective, m.Integer) {
+			e.verify(rootSol.X, rootSol.Objective)
+			e.noteIncumbent()
+		}
+	} else {
+		down, up := branchBounded(m.Prob.Lower, m.Prob.Upper, bv, rootSol.X[bv], rootSol.Objective)
+		queue = append(queue, down, up)
+	}
+
+	for len(queue) > 0 && len(queue) < frontierTarget && !e.stopped() {
+		nd := queue[0]
+		queue = queue[1:]
+		down, up, branched, perr := e.processNode(nd, ws, true)
+		if perr != nil {
+			return Result{}, perr
+		}
+		if branched {
+			queue = append(queue, down, up)
+		}
+	}
+
+	solvers := make([]*lp.WarmSolver, workers)
+	for i := range solvers {
+		if solvers[i], err = lp.NewWarmSolver(m.Prob); err != nil {
+			return Result{}, err
+		}
+	}
+	err = runFrontier(&e.engineState, workers, queue, func(nd boundedNode, worker int) error {
+		return e.dfsFrom(nd, solvers[worker])
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return e.finish(start), nil
+}
+
+// processNode solves one node. fromSnapshot selects the warm source: true
+// restores the root tableau first (queued siblings and frontier roots),
+// false warms straight from the solver's current state (dive children, whose
+// parent was by construction the previous solve on this solver).
+func (e *boundedEngine) processNode(nd boundedNode, ws *lp.WarmSolver, fromSnapshot bool) (down, up boundedNode, branched bool, err error) {
+	if !e.countNode() {
+		return
+	}
+	if e.pruned(nd.lpObj) {
+		return
+	}
+	for j := range nd.lower {
+		if nd.lower[j] > nd.upper[j] {
+			return // branching emptied the interval
+		}
+	}
+	if fromSnapshot {
+		ws.Restore(e.snap)
+	}
+	sol, serr := ws.SolveWithBounds(nd.lower, nd.upper)
+	if serr != nil {
+		err = serr
+		return
+	}
+	if sol.Status != lp.Optimal {
+		return
+	}
+	if e.pruned(sol.Objective) {
+		return
+	}
+	bv := mostFractional(e.m.Integer, sol.X)
+	if bv == -1 {
+		if e.store.offer(sol.X, sol.Objective, e.m.Integer) {
+			e.verify(sol.X, sol.Objective)
+			e.noteIncumbent()
+		}
+		return
+	}
+	down, up = branchBounded(nd.lower, nd.upper, bv, sol.X[bv], sol.Objective)
+	branched = true
+	return
+}
+
+// dfsFrom explores one frontier subtree depth-first. The down child is
+// processed immediately on the same solver (warm from the parent tableau it
+// just produced); the up child is stacked and later restarted from the root
+// snapshot.
+func (e *boundedEngine) dfsFrom(root boundedNode, ws *lp.WarmSolver) error {
+	var stack []boundedNode
+	cur, fromSnap, have := root, true, true
+	for have && !e.stopped() {
+		down, up, branched, err := e.processNode(cur, ws, fromSnap)
+		if err != nil {
+			return err
+		}
+		switch {
+		case branched:
+			stack = append(stack, up)
+			cur, fromSnap = down, false
+		case len(stack) > 0:
+			cur, fromSnap = stack[len(stack)-1], true
+			stack = stack[:len(stack)-1]
+		default:
+			have = false
+		}
+	}
+	return nil
+}
+
+// verify re-checks an accepted incumbent from scratch under
+// -tags soclinvariants.
+func (e *boundedEngine) verify(x []float64, obj float64) {
+	if !invariant.Enabled {
+		return
+	}
+	for j, isInt := range e.m.Integer {
+		if isInt {
+			invariant.Assertf(math.Abs(x[j]-math.Round(x[j])) <= intTol,
+				"ilp bounded engine incumbent: variable %d = %v is not integral", j, x[j])
+		}
+	}
+	invariant.CheckLPBoundedSolution(e.m.Prob, x, obj, "ilp bounded engine incumbent")
+}
+
+// branchBounded builds the two children of a bounded node: down tightens the
+// upper bound to floor(xv), up raises the lower bound to floor(xv)+1.
+func branchBounded(lower, upper []float64, bv int, xv, lpObj float64) (down, up boundedNode) {
+	fl := math.Floor(xv)
+	down = boundedNode{
+		lower: append([]float64(nil), lower...),
+		upper: append([]float64(nil), upper...),
+		lpObj: lpObj,
+	}
+	down.upper[bv] = fl
+	up = boundedNode{
+		lower: append([]float64(nil), lower...),
+		upper: append([]float64(nil), upper...),
+		lpObj: lpObj,
+	}
+	up.lower[bv] = fl + 1
+	return down, up
+}

@@ -38,6 +38,7 @@ func WriteLP(w io.Writer, prob *lp.Problem, integer []bool) error {
 	for i, c := range prob.Constraints {
 		fmt.Fprintf(bw, " c%d:", i)
 		coeffs := make([]float64, prob.NumVars)
+		//socllint:ignore detrand map scatter into a dense slice indexed by key; result is iteration-order-independent
 		for j, v := range c.Coeffs {
 			coeffs[j] = v
 		}
@@ -91,6 +92,7 @@ func WriteBoundedLP(w io.Writer, m *BoundedMIP) error {
 	for i, c := range prob.Constraints {
 		fmt.Fprintf(bw, " c%d:", i)
 		coeffs := make([]float64, prob.NumVars)
+		//socllint:ignore detrand map scatter into a dense slice indexed by key; result is iteration-order-independent
 		for j, v := range c.Coeffs {
 			coeffs[j] = v
 		}

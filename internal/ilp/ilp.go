@@ -41,6 +41,18 @@ type Options struct {
 	MaxNodes  int           // 0 = unlimited
 	// Gap: stop when (incumbent - bound)/max(|incumbent|,1) ≤ Gap.
 	Gap float64
+	// Workers sizes the parallel branch-and-bound worker pool: 0 means
+	// GOMAXPROCS, 1 runs the deterministic engine on one goroutine. Any
+	// worker count returns the same optimum and — via the lexicographic
+	// incumbent tie-break — the same solution vector (DESIGN.md §9).
+	// Node/time limits make which incumbent a *capped* run holds
+	// schedule-dependent, exactly as they made it wall-clock-dependent
+	// serially.
+	Workers int
+	// Naive forces the original serial depth-first search, kept verbatim as
+	// the reference implementation the engine is differentially tested
+	// against (mirrors combine.Config.Naive / baselines.GCOGConfig.Naive).
+	Naive bool
 }
 
 // Status of a MIP solve.
@@ -88,18 +100,27 @@ type bbNode struct {
 	lpObj  float64 // parent LP bound, for ordering
 }
 
-type branchBound struct {
-	v     int
-	upper bool
-	val   float64
-}
+// branchBound is one branching bound (var, isUpper, value) — structurally
+// the overlay row the lp package applies on top of the shared base problem.
+type branchBound = lp.BoundRow
 
-// Solve runs branch and bound. Depth-first with best-parent-bound
-// tie-breaking keeps memory linear in depth while finding incumbents early.
+// Solve runs branch and bound: the parallel engine by default (engine.go),
+// or the original serial depth-first search when opt.Naive is set.
 func Solve(m *MIP, opt Options) (Result, error) {
 	if err := m.Validate(); err != nil {
 		return Result{}, err
 	}
+	if opt.Naive {
+		return solveNaive(m, opt)
+	}
+	return solveRowEngine(m, opt)
+}
+
+// solveNaive is the reference search: serial, depth-first, one LP per node.
+// It is pinned against the engine by the differential tests and must not
+// change behaviour.
+func solveNaive(m *MIP, opt Options) (Result, error) {
+	//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
 	start := time.Now()
 	deadline := time.Time{}
 	if opt.TimeLimit > 0 {
@@ -117,6 +138,7 @@ func Solve(m *MIP, opt Options) (Result, error) {
 		if opt.MaxNodes > 0 && res.Nodes >= opt.MaxNodes {
 			break
 		}
+		//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
@@ -129,13 +151,14 @@ func Solve(m *MIP, opt Options) (Result, error) {
 			continue
 		}
 
-		sol, err := solveNodeLP(m.Prob, node.bounds)
+		sol, err := solveNodeLP(m.Prob, node.bounds, nil)
 		if err != nil {
 			return Result{}, err
 		}
 		if sol.Status == lp.Infeasible {
 			if !rootSolved {
 				rootSolved = true
+				//socllint:ignore detrand elapsed wall time is reported, never branched on
 				res.Elapsed = time.Since(start)
 				return Result{Status: Infeasible, Nodes: res.Nodes, Elapsed: res.Elapsed}, nil
 			}
@@ -186,11 +209,12 @@ func Solve(m *MIP, opt Options) (Result, error) {
 		fl := math.Floor(sol.X[branchVar])
 		// Push the "up" child first so the "down" child (often cheaper for
 		// deployment variables) is explored first (LIFO).
-		up := append(append([]branchBound(nil), node.bounds...), branchBound{branchVar, false, fl + 1})
-		down := append(append([]branchBound(nil), node.bounds...), branchBound{branchVar, true, fl})
+		up := append(append([]branchBound(nil), node.bounds...), branchBound{Var: branchVar, Upper: false, Val: fl + 1})
+		down := append(append([]branchBound(nil), node.bounds...), branchBound{Var: branchVar, Upper: true, Val: fl})
 		stack = append(stack, bbNode{bounds: up, lpObj: sol.Objective}, bbNode{bounds: down, lpObj: sol.Objective})
 	}
 
+	//socllint:ignore detrand elapsed wall time is reported, never branched on
 	res.Elapsed = time.Since(start)
 	res.Bound = rootBound
 	if incumbent == nil {
@@ -215,14 +239,11 @@ func gapOK(incumbent, bound, gap float64) bool {
 	return (incumbent-bound)/math.Max(math.Abs(incumbent), 1) <= gap
 }
 
-func solveNodeLP(base *lp.Problem, bounds []branchBound) (lp.Solution, error) {
-	p := base.Clone()
-	for _, b := range bounds {
-		rel := lp.GE
-		if b.upper {
-			rel = lp.LE
-		}
-		p.AddConstraint(map[int]float64{b.v: 1}, rel, b.val)
-	}
-	return lp.Solve(p)
+// solveNodeLP solves one node relaxation via the bounds overlay: the branch
+// bounds are applied as extra tableau rows on the shared base problem, which
+// replaced the former Problem.Clone()-per-node construction bit-for-bit
+// (the lp package pins the equivalence; BenchmarkILPNodeLP the allocation
+// win). ws may be nil; workers pass their own to pool tableau storage.
+func solveNodeLP(base *lp.Problem, bounds []branchBound, ws *lp.Workspace) (lp.Solution, error) {
+	return lp.SolveWithBoundRows(base, bounds, ws)
 }

@@ -1,0 +1,88 @@
+package ilp
+
+import (
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// cloneNodeLP is the construction solveNodeLP replaced: deep-copy the base
+// problem and append each branch bound as an ordinary constraint. Kept here
+// as the benchmark/differential baseline for the bounds overlay.
+func cloneNodeLP(base *lp.Problem, bounds []branchBound) (lp.Solution, error) {
+	p := base.Clone()
+	for _, b := range bounds {
+		rel := lp.GE
+		if b.Upper {
+			rel = lp.LE
+		}
+		p.AddConstraint(map[int]float64{b.Var: 1}, rel, b.Val)
+	}
+	return lp.Solve(p)
+}
+
+func nodeLPFixture() (*MIP, []branchBound) {
+	in := soclInstance(3, 3, 1)
+	m, vm := BuildSoCL(in)
+	// A plausible mid-tree node: two deployment variables branched.
+	bounds := []branchBound{
+		{Var: vm.XIdx(0, 0), Upper: true, Val: 0},
+		{Var: vm.XIdx(1, 1), Upper: false, Val: 1},
+	}
+	return m, bounds
+}
+
+func BenchmarkILPNodeLP(b *testing.B) {
+	m, bounds := nodeLPFixture()
+	b.Run("clone", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cloneNodeLP(m.Prob, bounds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("overlay", func(b *testing.B) {
+		ws := &lp.Workspace{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := solveNodeLP(m.Prob, bounds, ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// The overlay with a pooled workspace must allocate at least 5x less per
+// node LP than the clone-and-append construction it replaced.
+func TestNodeLPAllocWin(t *testing.T) {
+	m, bounds := nodeLPFixture()
+	// Results must agree before comparing costs.
+	want, err := cloneNodeLP(m.Prob, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := &lp.Workspace{}
+	got, err := solveNodeLP(m.Prob, bounds, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || got.Objective != want.Objective {
+		t.Fatalf("overlay result %v/%v != clone result %v/%v", got.Status, got.Objective, want.Status, want.Objective)
+	}
+
+	cloneAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := cloneNodeLP(m.Prob, bounds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	overlayAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := solveNodeLP(m.Prob, bounds, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if overlayAllocs*5 > cloneAllocs {
+		t.Fatalf("allocs/op: overlay %.1f vs clone %.1f — want ≥ 5x reduction", overlayAllocs, cloneAllocs)
+	}
+	t.Logf("allocs/op: clone %.1f, overlay %.1f (%.1fx)", cloneAllocs, overlayAllocs, cloneAllocs/overlayAllocs)
+}

@@ -1,0 +1,182 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Differential tests pinning the parallel engine against the serial naive
+// reference: same status, same objective, and — across worker counts — the
+// identical solution vector selected by the deterministic tie-break
+// (DESIGN.md §9).
+
+func sameX(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for j := range a {
+		if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEngineMatchesNaiveRowBased(t *testing.T) {
+	sizes := [][2]int{{3, 3}, {4, 4}}
+	for _, sz := range sizes {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := soclInstance(sz[0], sz[1], seed)
+			m, _ := BuildSoCL(in)
+			limit := 60 * time.Second
+			naive, err := Solve(m, Options{TimeLimit: limit, Naive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w1, err := Solve(m, Options{TimeLimit: limit, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w4, err := Solve(m, Options{TimeLimit: limit, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if naive.Status != w1.Status || naive.Status != w4.Status {
+				t.Fatalf("nodes=%d users=%d seed=%d: status naive=%v w1=%v w4=%v",
+					sz[0], sz[1], seed, naive.Status, w1.Status, w4.Status)
+			}
+			if naive.Status != Optimal {
+				continue
+			}
+			if math.Abs(naive.Objective-w1.Objective) > 1e-9 || math.Abs(naive.Objective-w4.Objective) > 1e-9 {
+				t.Fatalf("nodes=%d users=%d seed=%d: objective naive=%v w1=%v w4=%v",
+					sz[0], sz[1], seed, naive.Objective, w1.Objective, w4.Objective)
+			}
+			if !sameX(w1.X, w4.X) {
+				t.Fatalf("nodes=%d users=%d seed=%d: worker count changed the incumbent:\nw1=%v\nw4=%v",
+					sz[0], sz[1], seed, w1.X, w4.X)
+			}
+		}
+	}
+}
+
+func TestEngineMatchesNaiveBounded(t *testing.T) {
+	sizes := [][2]int{{3, 3}, {4, 4}}
+	for _, sz := range sizes {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := soclInstance(sz[0], sz[1], seed)
+			m, _ := BuildSoCLBounded(in)
+			limit := 60 * time.Second
+			naive, err := SolveBounded(m, Options{TimeLimit: limit, Naive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w1, err := SolveBounded(m, Options{TimeLimit: limit, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w4, err := SolveBounded(m, Options{TimeLimit: limit, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if naive.Status != w1.Status || naive.Status != w4.Status {
+				t.Fatalf("nodes=%d users=%d seed=%d: status naive=%v w1=%v w4=%v",
+					sz[0], sz[1], seed, naive.Status, w1.Status, w4.Status)
+			}
+			if naive.Status != Optimal {
+				continue
+			}
+			// The warm tableau keeps native lower bounds while SolveBounded
+			// shifts them, so objectives agree to LP tolerance, not bitwise.
+			if math.Abs(naive.Objective-w1.Objective) > 1e-6 || math.Abs(naive.Objective-w4.Objective) > 1e-6 {
+				t.Fatalf("nodes=%d users=%d seed=%d: objective naive=%v w1=%v w4=%v",
+					sz[0], sz[1], seed, naive.Objective, w1.Objective, w4.Objective)
+			}
+			if !sameX(w1.X, w4.X) {
+				t.Fatalf("nodes=%d users=%d seed=%d: worker count changed the incumbent:\nw1=%v\nw4=%v",
+					sz[0], sz[1], seed, w1.X, w4.X)
+			}
+		}
+	}
+}
+
+// The knapsack fixture has a unique optimum; every path must find it.
+func TestEngineKnapsackAllWorkerCounts(t *testing.T) {
+	build := func() *MIP {
+		p := lp.NewProblem(3)
+		p.SetObjective(0, -10)
+		p.SetObjective(1, -13)
+		p.SetObjective(2, -7)
+		p.AddConstraint(map[int]float64{0: 3, 1: 4, 2: 2}, lp.LE, 6)
+		for j := 0; j < 3; j++ {
+			p.AddConstraint(map[int]float64{j: 1}, lp.LE, 1)
+		}
+		return &MIP{Prob: p, Integer: []bool{true, true, true}}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := Solve(build(), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal || math.Abs(res.Objective-(-20)) > 1e-6 {
+			t.Fatalf("workers=%d: status=%v objective=%v", workers, res.Status, res.Objective)
+		}
+		if res.X[1] < 0.5 || res.X[2] < 0.5 || res.X[0] > 0.5 {
+			t.Fatalf("workers=%d: x = %v, want [0 1 1]", workers, res.X)
+		}
+	}
+}
+
+// Engine must honor the global node limit across workers (the shared counter
+// may overshoot transiently; the reported count must not).
+func TestEngineNodeLimit(t *testing.T) {
+	in := soclInstance(4, 5, 1)
+	m, _ := BuildSoCL(in)
+	res, err := Solve(m, Options{MaxNodes: 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes > 10 {
+		t.Fatalf("nodes = %d > limit 10", res.Nodes)
+	}
+	if res.Status == Optimal && res.Nodes >= 10 {
+		t.Fatalf("claimed optimal at the node limit: %+v", res)
+	}
+}
+
+// Infeasible and integer-infeasible models must report the same status
+// through the engine as through the naive search.
+func TestEngineInfeasibleStatuses(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint(map[int]float64{0: 1}, lp.GE, 2)
+	p.AddConstraint(map[int]float64{0: 1}, lp.LE, 1)
+	m := &MIP{Prob: p, Integer: []bool{true}}
+	for _, naiveFlag := range []bool{true, false} {
+		res, err := Solve(m, Options{Naive: naiveFlag, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Infeasible {
+			t.Fatalf("naive=%v: status = %v, want infeasible", naiveFlag, res.Status)
+		}
+	}
+
+	// LP-feasible but integer-infeasible: 2x = 1 with x integer.
+	p2 := lp.NewProblem(1)
+	p2.SetObjective(0, 1)
+	p2.AddConstraint(map[int]float64{0: 2}, lp.EQ, 1)
+	m2 := &MIP{Prob: p2, Integer: []bool{true}}
+	for _, naiveFlag := range []bool{true, false} {
+		res, err := Solve(m2, Options{Naive: naiveFlag, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Infeasible {
+			t.Fatalf("naive=%v: status = %v, want infeasible", naiveFlag, res.Status)
+		}
+	}
+}

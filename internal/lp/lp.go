@@ -152,7 +152,12 @@ func Solve(p *Problem) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
-	t := newTableau(p)
+	return newTableau(p).solve(p.Objective, p.NumVars)
+}
+
+// solve runs the two-phase driver on a constructed tableau (shared by Solve
+// and the bounds-overlay SolveWithBoundRows).
+func (t *tableau) solve(objective []float64, nVars int) (Solution, error) {
 	// Phase 1: minimize artificial sum.
 	if t.numArtificial > 0 {
 		t.setPhase1Objective()
@@ -166,7 +171,7 @@ func Solve(p *Problem) (Solution, error) {
 		t.driveOutArtificials()
 	}
 	// Phase 2: original objective.
-	t.setPhase2Objective(p.Objective)
+	t.setPhase2Objective(objective)
 	st := t.iterate()
 	switch st {
 	case Unbounded:
@@ -174,9 +179,9 @@ func Solve(p *Problem) (Solution, error) {
 	case IterLimit:
 		return Solution{Status: IterLimit, Iters: t.iters}, nil
 	}
-	x := make([]float64, p.NumVars)
+	x := make([]float64, nVars)
 	for r, bj := range t.basis {
-		if bj < p.NumVars {
+		if bj < nVars {
 			x[bj] = t.rhs(r)
 		}
 	}

@@ -1,0 +1,182 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounds-overlay solve mode for branch-and-bound: a child node's LP differs
+// from the shared base problem only by a handful of single-variable bound
+// rows (x_v ≥ val or x_v ≤ val). SolveWithBoundRows builds the child tableau
+// directly from the base problem plus those rows — constructing bit-for-bit
+// the tableau that Clone()+AddConstraint()+Solve() would have produced —
+// without deep-copying the base's constraint maps. Combined with a reusable
+// Workspace it removes the per-node allocation hot spot the ilp package had
+// (see BenchmarkILPNodeLP).
+
+// BoundRow is one single-variable branching constraint applied on top of a
+// base problem: x_Var ≤ Val when Upper, else x_Var ≥ Val.
+type BoundRow struct {
+	Var   int
+	Upper bool
+	Val   float64
+}
+
+// Workspace pools tableau storage across solves. The zero value is ready to
+// use; each call reslices (growing only when a larger tableau appears) and
+// re-zeroes the backing arrays, so steady-state solves allocate nothing for
+// the tableau itself. A Workspace is not safe for concurrent use — give each
+// worker its own.
+type Workspace struct {
+	flat  []float64
+	rows  [][]float64
+	basis []int
+	art   []int
+}
+
+// tableauStorage returns zeroed row storage for an (mRows)×(nCols) tableau
+// plus basis/artCols scratch, reusing w's backing arrays when they fit.
+func (w *Workspace) tableauStorage(mRows, nCols, nArt int) (rows [][]float64, basis, art []int) {
+	need := mRows * nCols
+	if cap(w.flat) < need {
+		w.flat = make([]float64, need)
+	}
+	w.flat = w.flat[:need]
+	for i := range w.flat {
+		w.flat[i] = 0
+	}
+	if cap(w.rows) < mRows {
+		w.rows = make([][]float64, mRows)
+	}
+	w.rows = w.rows[:mRows]
+	for i := 0; i < mRows; i++ {
+		w.rows[i] = w.flat[i*nCols : (i+1)*nCols : (i+1)*nCols]
+	}
+	if cap(w.basis) < mRows {
+		w.basis = make([]int, mRows)
+	}
+	w.basis = w.basis[:mRows-1] // one basis slot per constraint row
+	if cap(w.art) < nArt {
+		w.art = make([]int, nArt)
+	}
+	art = w.art[:0]
+	return w.rows, w.basis, art
+}
+
+// SolveWithBoundRows solves base with the extra bound rows appended, exactly
+// as if they had been added to a clone with AddConstraint — the constructed
+// tableau is bitwise identical (TestOverlayMatchesClone pins this) — but
+// without copying the base problem. base is only read, so concurrent calls
+// sharing one base are safe as long as each passes its own Workspace.
+// ws may be nil (storage is then allocated per call).
+func SolveWithBoundRows(base *Problem, extra []BoundRow, ws *Workspace) (Solution, error) {
+	if err := base.Validate(); err != nil {
+		return Solution{}, err
+	}
+	for _, b := range extra {
+		if b.Var < 0 || b.Var >= base.NumVars {
+			return Solution{}, fmt.Errorf("lp: bound row references variable %d", b.Var)
+		}
+		if math.IsNaN(b.Val) || math.IsInf(b.Val, 0) {
+			return Solution{}, fmt.Errorf("lp: bound row on variable %d has invalid value %v", b.Var, b.Val)
+		}
+	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	t := newOverlayTableau(base, extra, ws)
+	return t.solve(base.Objective, base.NumVars)
+}
+
+// newOverlayTableau mirrors newTableau with the extra bound rows appended
+// after the base constraints, in order — the exact row layout a clone with
+// AddConstraint would produce.
+func newOverlayTableau(p *Problem, extra []BoundRow, ws *Workspace) *tableau {
+	m := len(p.Constraints) + len(extra)
+	nStruct := p.NumVars
+	nSlack, nArt := 0, 0
+	countRow := func(rhs float64, rel Rel) {
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	for _, c := range p.Constraints {
+		countRow(c.RHS, c.Rel)
+	}
+	for _, b := range extra {
+		rel := GE
+		if b.Upper {
+			rel = LE
+		}
+		countRow(b.Val, rel)
+	}
+	nTotal := nStruct + nSlack + nArt
+	rows, basis, art := ws.tableauStorage(m+1, nTotal+1, nArt)
+	t := &tableau{
+		rows:          rows,
+		basis:         basis,
+		nStruct:       nStruct,
+		nSlack:        nSlack,
+		numArtificial: nArt,
+		nTotal:        nTotal,
+		artCols:       art,
+		maxIters:      20000 + 200*(m+nTotal),
+	}
+	slackCol, artCol := nStruct, nStruct+nSlack
+	fillRow := func(i int, rel Rel, rhs float64, coeffs func(sign float64, row []float64)) {
+		row := t.rows[i]
+		sign := 1.0
+		if rhs < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		coeffs(sign, row)
+		row[nTotal] = sign * rhs
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			t.artCols = append(t.artCols, artCol)
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			t.artCols = append(t.artCols, artCol)
+			artCol++
+		}
+	}
+	for i, c := range p.Constraints {
+		c := c
+		fillRow(i, c.Rel, c.RHS, func(sign float64, row []float64) {
+			for j, v := range c.Coeffs {
+				row[j] += sign * v
+			}
+		})
+	}
+	for bi, b := range extra {
+		b := b
+		rel := GE
+		if b.Upper {
+			rel = LE
+		}
+		fillRow(len(p.Constraints)+bi, rel, b.Val, func(sign float64, row []float64) {
+			row[b.Var] += sign
+		})
+	}
+	return t
+}

@@ -1,0 +1,134 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// cloneWithBounds is the replaced construction: clone the base and append
+// each bound row as an ordinary constraint.
+func cloneWithBounds(base *Problem, extra []BoundRow) *Problem {
+	p := base.Clone()
+	for _, b := range extra {
+		rel := GE
+		if b.Upper {
+			rel = LE
+		}
+		p.AddConstraint(map[int]float64{b.Var: 1}, rel, b.Val)
+	}
+	return p
+}
+
+// The overlay must reproduce the clone-and-append path bit for bit: same
+// status, same iteration count, bitwise-identical objective and solution
+// vector — it builds the identical tableau, so the identical pivot sequence
+// must follow.
+func TestOverlayMatchesClone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := stats.NewRand(seed)
+		n := 2 + r.Intn(4)
+		base := NewProblem(n)
+		for j := 0; j < n; j++ {
+			base.SetObjective(j, math.Round((r.Float64()*10-5)*4)/4)
+		}
+		rows := 1 + r.Intn(3)
+		for i := 0; i < rows; i++ {
+			coeffs := map[int]float64{}
+			for j := 0; j < n; j++ {
+				coeffs[j] = math.Round((r.Float64()*4-2)*4) / 4
+			}
+			rel := []Rel{LE, GE, EQ}[r.Intn(3)]
+			rhs := math.Round((r.Float64()*20-5)*4) / 4
+			base.AddConstraint(coeffs, rel, rhs)
+		}
+		var extra []BoundRow
+		for b := 0; b < r.Intn(4); b++ {
+			extra = append(extra, BoundRow{
+				Var:   r.Intn(n),
+				Upper: r.Intn(2) == 0,
+				Val:   math.Round(r.Float64()*3*4) / 4,
+			})
+		}
+		got, err1 := SolveWithBoundRows(base, extra, nil)
+		want, err2 := Solve(cloneWithBounds(base, extra))
+		if (err1 != nil) != (err2 != nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if got.Status != want.Status || got.Iters != want.Iters {
+			return false
+		}
+		if math.Float64bits(got.Objective) != math.Float64bits(want.Objective) {
+			return false
+		}
+		if len(got.X) != len(want.X) {
+			return false
+		}
+		for j := range got.X {
+			if math.Float64bits(got.X[j]) != math.Float64bits(want.X[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A reused Workspace must not leak state between solves: interleave problems
+// of different shapes and re-check each against a fresh solve.
+func TestWorkspaceReuseAcrossShapes(t *testing.T) {
+	ws := &Workspace{}
+	r := stats.NewRand(7)
+	for round := 0; round < 50; round++ {
+		n := 1 + r.Intn(5)
+		base := NewProblem(n)
+		for j := 0; j < n; j++ {
+			base.SetObjective(j, math.Round((r.Float64()*10-5)*4)/4)
+		}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			coeffs := map[int]float64{}
+			for j := 0; j < n; j++ {
+				coeffs[j] = math.Round((r.Float64()*4-2)*4) / 4
+			}
+			rel := []Rel{LE, GE, EQ}[r.Intn(3)]
+			base.AddConstraint(coeffs, rel, math.Round((r.Float64()*20-5)*4)/4)
+		}
+		var extra []BoundRow
+		if r.Intn(2) == 0 {
+			extra = append(extra, BoundRow{Var: r.Intn(n), Upper: true, Val: math.Round(r.Float64()*3*4) / 4})
+		}
+		got, err1 := SolveWithBoundRows(base, extra, ws)
+		want, err2 := SolveWithBoundRows(base, extra, nil)
+		if (err1 != nil) != (err2 != nil) {
+			t.Fatalf("round %d: error mismatch %v vs %v", round, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if got.Status != want.Status || got.Iters != want.Iters ||
+			math.Float64bits(got.Objective) != math.Float64bits(want.Objective) {
+			t.Fatalf("round %d: workspace-reuse result differs: %+v vs %+v", round, got, want)
+		}
+	}
+}
+
+func TestOverlayValidatesBoundRows(t *testing.T) {
+	base := NewProblem(2)
+	base.AddConstraint(map[int]float64{0: 1, 1: 1}, LE, 4)
+	if _, err := SolveWithBoundRows(base, []BoundRow{{Var: 5, Upper: true, Val: 1}}, nil); err == nil {
+		t.Fatal("out-of-range bound row accepted")
+	}
+	if _, err := SolveWithBoundRows(base, []BoundRow{{Var: 0, Upper: true, Val: math.NaN()}}, nil); err == nil {
+		t.Fatal("NaN bound row accepted")
+	}
+	if _, err := SolveWithBoundRows(base, []BoundRow{{Var: 0, Val: math.Inf(1)}}, nil); err == nil {
+		t.Fatal("infinite bound row accepted")
+	}
+}

@@ -1,0 +1,642 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WarmSolver solves a sequence of bound variations of one BoundedProblem —
+// the exact shape of branch-and-bound node relaxations, where the matrix A,
+// the right-hand side b and the objective c never change and only variable
+// bounds tighten or relax. Unlike SolveBounded, which shifts lower bounds to
+// zero at construction (and so must rebuild everything when a lower bound
+// moves), WarmSolver keeps native [lo, up] column bounds inside the tableau.
+// That makes warm starts possible: after an Optimal solve the factorized
+// basis and the phase-2 reduced costs remain valid for any bound change —
+// reduced costs depend only on (A, b, c) — so a child solve just moves the
+// nonbasic variables to their new bounds, updates the basic values by the
+// corresponding deltas, and resumes phase-2 pivoting. Phase 1 is re-entered
+// (a cold rebuild, reusing the row storage) only when the parent basis is
+// primal-infeasible under the child bounds.
+//
+// Determinism contract: a solve's result is a pure function of (base problem,
+// bounds, start state), and the start state is either "cold", "the final
+// tableau of the previous Optimal solve", or "a Snapshot". The parallel
+// branch-and-bound engines in package ilp rely on this: every node's start
+// state is determined by its tree position alone (dive children warm from
+// their parent, queued siblings restore the root snapshot), so node results
+// do not depend on worker scheduling.
+//
+// A WarmSolver is not safe for concurrent use; give each worker its own and
+// share Snapshots, which are immutable once taken.
+type WarmSolver struct {
+	base  *BoundedProblem
+	t     warmTableau
+	ready bool // t holds an Optimal basis for the bounds in t.lower/t.upper
+	// Stats counts how solves started; tests assert the warm path is
+	// actually exercised.
+	Stats WarmStats
+}
+
+// WarmStats counts solve starts by kind.
+type WarmStats struct {
+	Warm int // resumed phase 2 from the previous basis
+	Cold int // rebuilt from scratch (phase 1), reusing row storage
+}
+
+// warmFeasTol is the primal-feasibility tolerance deciding whether the
+// parent basis survives a bound change; it matches the phase-1 feasibility
+// threshold so warm and cold starts agree on what "feasible" means.
+const warmFeasTol = 1e-7
+
+// NewWarmSolver validates the base problem (bounds are supplied per solve,
+// so only the rows and objective are checked here) and returns a solver with
+// no basis yet — the first SolveWithBounds is a cold start.
+func NewWarmSolver(base *BoundedProblem) (*WarmSolver, error) {
+	if base == nil {
+		return nil, fmt.Errorf("lp: nil problem")
+	}
+	if base.NumVars <= 0 {
+		return nil, fmt.Errorf("lp: no variables")
+	}
+	if len(base.Objective) != base.NumVars {
+		return nil, fmt.Errorf("lp: objective length %d != NumVars %d", len(base.Objective), base.NumVars)
+	}
+	for i, c := range base.Constraints {
+		for j := range c.Coeffs {
+			if j < 0 || j >= base.NumVars {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d", i, j)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return nil, fmt.Errorf("lp: constraint %d has invalid RHS %v", i, c.RHS)
+		}
+	}
+	return &WarmSolver{base: base}, nil
+}
+
+// SolveWithBounds solves the base problem under the given variable bounds
+// (the base's own Lower/Upper are ignored). lower/upper are only read.
+func (w *WarmSolver) SolveWithBounds(lower, upper []float64) (Solution, error) {
+	n := w.base.NumVars
+	if len(lower) != n || len(upper) != n {
+		return Solution{}, fmt.Errorf("lp: bounds length %d/%d != NumVars %d", len(lower), len(upper), n)
+	}
+	for j := 0; j < n; j++ {
+		if math.IsInf(lower[j], 0) || math.IsNaN(lower[j]) || math.IsNaN(upper[j]) {
+			return Solution{}, fmt.Errorf("lp: invalid bounds on variable %d", j)
+		}
+		if lower[j] > upper[j] {
+			return Solution{}, fmt.Errorf("lp: empty bound interval on variable %d [%v, %v]", j, lower[j], upper[j])
+		}
+	}
+	if w.ready && w.warmApply(lower, upper) {
+		w.Stats.Warm++
+		w.t.iters = 0
+		st := w.t.iterate()
+		if st == Optimal {
+			return w.extractSolution(), nil
+		}
+		// Unbounded can legitimately appear when bounds were relaxed;
+		// IterLimit means the resumed basis cycled. Either way the tableau
+		// is no longer a usable warm source.
+		w.ready = false
+		return Solution{Status: st, Iters: w.t.iters}, nil
+	}
+	w.ready = false
+	w.Stats.Cold++
+	return w.coldSolve(lower, upper)
+}
+
+// SolveBoundedOverlay is the one-shot cold reference: it solves base under
+// the given bounds with a fresh WarmSolver (no basis reuse). The warm-vs-cold
+// differential tests compare SolveWithBounds sequences against it.
+func SolveBoundedOverlay(base *BoundedProblem, lower, upper []float64) (Solution, error) {
+	w, err := NewWarmSolver(base)
+	if err != nil {
+		return Solution{}, err
+	}
+	return w.SolveWithBounds(lower, upper)
+}
+
+// warmApply moves the tableau from its current bounds to (lower, upper):
+// nonbasic columns shift to their new bound values (updating every basic
+// value by coef·delta), basic columns just adopt the new limits. It reports
+// whether the existing basis is still primal feasible; when it is not the
+// caller falls back to a cold start.
+func (w *WarmSolver) warmApply(lower, upper []float64) bool {
+	t := &w.t
+	m := t.m()
+	for j := 0; j < t.nStruct; j++ {
+		nl, nu := lower[j], upper[j]
+		ol, ou := t.lower[j], t.upper[j]
+		//socllint:ignore floateq bound values are copied verbatim between nodes; unchanged bounds compare bitwise equal
+		if nl == ol && nu == ou {
+			continue
+		}
+		if !t.inBasis[j] {
+			oldv, newv := ol, nl
+			if t.atUpper[j] {
+				oldv = ou
+				if math.IsInf(nu, 1) {
+					t.atUpper[j] = false // upper bound vanished; park at lower
+					newv = nl
+				} else {
+					newv = nu
+				}
+			}
+			//socllint:ignore floateq structural zero delta: the bound value was copied, not computed; only a literal move needs the RHS update
+			if d := newv - oldv; d != 0 {
+				for r := 0; r < m; r++ {
+					t.val[r] -= t.coef[r][j] * d
+				}
+			}
+		}
+		t.lower[j], t.upper[j] = nl, nu
+	}
+	for r := 0; r < m; r++ {
+		bj := t.basis[r]
+		if t.val[r] < t.lower[bj]-warmFeasTol {
+			return false
+		}
+		if up := t.upper[bj]; !math.IsInf(up, 1) && t.val[r] > up+warmFeasTol {
+			return false
+		}
+		// A basic artificial pushed off zero means the rows themselves became
+		// inconsistent under the new bounds; only phase 1 can decide that.
+		if t.isArt[bj] && t.val[r] > warmFeasTol {
+			return false
+		}
+	}
+	return true
+}
+
+// coldSolve rebuilds the tableau from scratch under the given bounds (two
+// phases), reusing the row storage from previous solves.
+func (w *WarmSolver) coldSolve(lower, upper []float64) (Solution, error) {
+	w.t.build(w.base, lower, upper)
+	t := &w.t
+	if t.numArtificial > 0 {
+		t.setPhase(true, nil)
+		st := t.iterate()
+		if st == IterLimit {
+			return Solution{Status: IterLimit, Iters: t.iters}, nil
+		}
+		if t.zval > warmFeasTol {
+			return Solution{Status: Infeasible, Iters: t.iters}, nil
+		}
+		t.driveOutArtificials()
+	}
+	t.setPhase(false, w.base.Objective)
+	switch t.iterate() {
+	case Unbounded:
+		return Solution{Status: Unbounded, Iters: t.iters}, nil
+	case IterLimit:
+		return Solution{Status: IterLimit, Iters: t.iters}, nil
+	}
+	return w.extractSolution(), nil
+}
+
+// extractSolution reads the structural solution off an Optimal tableau and
+// marks the solver warm-ready. The objective is recomputed from x (not from
+// the tableau's incrementally tracked zval) so warm chains cannot drift.
+func (w *WarmSolver) extractSolution() Solution {
+	t := &w.t
+	x := make([]float64, w.base.NumVars)
+	for j := range x {
+		if t.atUpper[j] && !t.inBasis[j] {
+			x[j] = t.upper[j]
+		} else {
+			x[j] = t.lower[j]
+		}
+	}
+	for r, bj := range t.basis {
+		if bj < len(x) {
+			x[bj] = t.val[r]
+		}
+	}
+	obj := 0.0
+	for j, c := range w.base.Objective {
+		obj += c * x[j]
+	}
+	w.ready = true
+	return Solution{Status: Optimal, X: x, Objective: obj, Iters: t.iters}
+}
+
+// WarmSnapshot is an immutable copy of a WarmSolver's tableau state, taken
+// after an Optimal solve. Restoring it puts a solver (typically a different
+// worker's) into exactly that state, so warm starts from a shared ancestor —
+// the root relaxation in the parallel branch-and-bound — are reproducible
+// regardless of which worker performs them.
+type WarmSnapshot struct {
+	t     warmTableau
+	ready bool
+}
+
+// Snapshot deep-copies the current tableau state. Returns nil when the
+// solver holds no Optimal basis (callers then simply cold-start instead).
+func (w *WarmSolver) Snapshot() *WarmSnapshot {
+	if !w.ready {
+		return nil
+	}
+	s := &WarmSnapshot{ready: true}
+	s.t.copyFrom(&w.t)
+	return s
+}
+
+// Restore loads a snapshot into the solver, reusing its storage. The solver
+// must have been created for the same base problem.
+func (w *WarmSolver) Restore(s *WarmSnapshot) {
+	if s == nil {
+		w.ready = false
+		return
+	}
+	w.t.copyFrom(&s.t)
+	w.ready = s.ready
+}
+
+// warmTableau is a bounded-variable simplex tableau with native [lo, up]
+// column bounds (boundedTableau, by contrast, works in lower-shifted space).
+// coef holds B⁻¹A (row m = the current phase's reduced costs), val the basic
+// variable values; zval incrementally tracks the phase objective and is only
+// consulted for the phase-1 feasibility verdict.
+type warmTableau struct {
+	coef    [][]float64
+	flat    []float64 // backing storage for coef, reused across rebuilds
+	val     []float64
+	zval    float64
+	basis   []int
+	inBasis []bool
+	atUpper []bool
+	lower   []float64 // per column; slack/artificial columns are [0, +Inf)
+	upper   []float64
+	cost    []float64
+	isArt   []bool
+	artCols []int
+
+	nStruct       int
+	nSlack        int
+	numArtificial int
+	nTotal        int
+	iters         int
+	maxIters      int
+}
+
+func (t *warmTableau) m() int { return len(t.coef) - 1 }
+
+// grow (re)slices every array for an (m+1)×nTotal tableau, zeroing coef and
+// resetting the column state, while keeping backing storage across calls.
+func (t *warmTableau) grow(m, nTotal, nArt int) {
+	need := (m + 1) * nTotal
+	if cap(t.flat) < need {
+		t.flat = make([]float64, need)
+	}
+	t.flat = t.flat[:need]
+	for i := range t.flat {
+		t.flat[i] = 0
+	}
+	if cap(t.coef) < m+1 {
+		t.coef = make([][]float64, m+1)
+	}
+	t.coef = t.coef[:m+1]
+	for i := 0; i <= m; i++ {
+		t.coef[i] = t.flat[i*nTotal : (i+1)*nTotal : (i+1)*nTotal]
+	}
+	growF := func(s []float64, n int) []float64 {
+		if cap(s) < n {
+			return make([]float64, n)
+		}
+		return s[:n]
+	}
+	growI := func(s []int, n int) []int {
+		if cap(s) < n {
+			return make([]int, n)
+		}
+		return s[:n]
+	}
+	growB := func(s []bool, n int) []bool {
+		if cap(s) < n {
+			return make([]bool, n)
+		}
+		return s[:n]
+	}
+	t.val = growF(t.val, m)
+	t.basis = growI(t.basis, m)
+	t.lower = growF(t.lower, nTotal)
+	t.upper = growF(t.upper, nTotal)
+	t.cost = growF(t.cost, nTotal)
+	t.inBasis = growB(t.inBasis, nTotal)
+	t.atUpper = growB(t.atUpper, nTotal)
+	t.isArt = growB(t.isArt, nTotal)
+	for j := 0; j < nTotal; j++ {
+		t.inBasis[j] = false
+		t.atUpper[j] = false
+		t.isArt[j] = false
+	}
+	t.artCols = growI(t.artCols, nArt)[:0]
+}
+
+// build constructs the cold tableau for the base problem under the given
+// structural bounds. All structural variables start nonbasic at their lower
+// bound; each row's slack or artificial absorbs the residual
+// r_i = b_i − Σ a_ij·lo_j, with the row negated first when r_i < 0 so the
+// initial basic values are nonnegative (the native-bounds analogue of
+// newBoundedTableau's shifted-space sign normalization).
+func (t *warmTableau) build(p *BoundedProblem, lower, upper []float64) {
+	m := len(p.Constraints)
+	nStruct := p.NumVars
+	nSlack, nArt := 0, 0
+	for _, c := range p.Constraints {
+		resid := c.RHS
+		for j, v := range c.Coeffs {
+			resid -= v * lower[j]
+		}
+		rel := c.Rel
+		if resid < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	nTotal := nStruct + nSlack + nArt
+	t.grow(m, nTotal, nArt)
+	t.nStruct, t.nSlack, t.numArtificial, t.nTotal = nStruct, nSlack, nArt, nTotal
+	t.maxIters = 20000 + 200*(m+nTotal)
+	t.iters = 0
+
+	copy(t.lower[:nStruct], lower)
+	copy(t.upper[:nStruct], upper)
+	for j := nStruct; j < nTotal; j++ {
+		t.lower[j] = 0
+		t.upper[j] = math.Inf(1)
+	}
+	slackCol, artCol := nStruct, nStruct+nSlack
+	for i, c := range p.Constraints {
+		row := t.coef[i]
+		resid := c.RHS
+		for j, v := range c.Coeffs {
+			resid -= v * lower[j]
+		}
+		sign := 1.0
+		rel := c.Rel
+		if resid < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for j, v := range c.Coeffs {
+			row[j] += sign * v
+		}
+		t.val[i] = sign * resid
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.setBasis(i, slackCol)
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.setBasis(i, artCol)
+			t.artCols = append(t.artCols, artCol)
+			t.isArt[artCol] = true
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.setBasis(i, artCol)
+			t.artCols = append(t.artCols, artCol)
+			t.isArt[artCol] = true
+			artCol++
+		}
+	}
+}
+
+func (t *warmTableau) setBasis(r, col int) {
+	t.basis[r] = col
+	t.inBasis[col] = true
+}
+
+// nonbasicValue is the value a nonbasic column currently sits at.
+func (t *warmTableau) nonbasicValue(j int) float64 {
+	if t.atUpper[j] {
+		return t.upper[j]
+	}
+	return t.lower[j]
+}
+
+// setPhase installs the phase objective (phase 1: Σ artificials; phase 2:
+// the structural costs) as reduced costs and recomputes zval for the current
+// point, including nonbasic columns parked at nonzero bounds.
+func (t *warmTableau) setPhase(phase1 bool, c []float64) {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	if phase1 {
+		for _, a := range t.artCols {
+			t.cost[a] = 1
+		}
+	} else {
+		copy(t.cost, c)
+	}
+	obj := t.coef[t.m()]
+	copy(obj, t.cost)
+	for r, bj := range t.basis {
+		factor := obj[bj]
+		//socllint:ignore floateq structural zero: entry was assigned zero by elimination, not approximately computed
+		if factor == 0 {
+			continue
+		}
+		row := t.coef[r]
+		for j := range obj {
+			obj[j] -= factor * row[j]
+		}
+	}
+	t.zval = 0
+	for r, bj := range t.basis {
+		t.zval += t.cost[bj] * t.val[r]
+	}
+	for j := 0; j < t.nTotal; j++ {
+		//socllint:ignore floateq cost entries are exact copies of the phase objective; zero means "not in this phase"
+		if t.inBasis[j] || t.cost[j] == 0 {
+			continue
+		}
+		//socllint:ignore floateq nonbasic value at exactly zero contributes no objective term; a tolerance would drop real contributions
+		if v := t.nonbasicValue(j); !math.IsInf(v, 1) && v != 0 {
+			t.zval += t.cost[j] * v
+		}
+	}
+}
+
+// iterate runs bounded-variable simplex pivots until optimality,
+// unboundedness, or the iteration cap — boundedTableau.iterate generalized
+// to native [lo, up] intervals (entering moves away from whichever bound the
+// column sits at; ratio tests measure distance to each basic variable's own
+// lower/upper bound rather than to [0, upper]).
+func (t *warmTableau) iterate() Status {
+	blandAfter := t.maxIters / 2
+	for ; t.iters < t.maxIters; t.iters++ {
+		obj := t.coef[t.m()]
+		enter, dir := -1, 1.0
+		if t.iters < blandAfter {
+			best := eps
+			for j := 0; j < t.nTotal; j++ {
+				if t.isArt[j] || t.inBasis[j] {
+					continue
+				}
+				if !t.atUpper[j] && -obj[j] > best {
+					best, enter, dir = -obj[j], j, 1
+				} else if t.atUpper[j] && obj[j] > best {
+					best, enter, dir = obj[j], j, -1
+				}
+			}
+		} else { // Bland
+			for j := 0; j < t.nTotal; j++ {
+				if t.isArt[j] || t.inBasis[j] {
+					continue
+				}
+				if !t.atUpper[j] && obj[j] < -eps {
+					enter, dir = j, 1
+					break
+				}
+				if t.atUpper[j] && obj[j] > eps {
+					enter, dir = j, -1
+					break
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+
+		// Ratio test: the entering variable moves dist ≥ 0 in direction dir;
+		// basic r changes by −dir·a_r·dist and must stay within its own
+		// [lower, upper]; the entering variable is limited by its interval.
+		limit := t.upper[enter] - t.lower[enter]
+		leave, leaveToUpper := -1, false
+		for r := 0; r < t.m(); r++ {
+			a := dir * t.coef[r][enter]
+			switch {
+			case a > eps: // basic decreases toward its lower bound
+				if ratio := (t.val[r] - t.lower[t.basis[r]]) / a; ratio < limit-eps {
+					limit, leave, leaveToUpper = ratio, r, false
+				} else if ratio <= limit+eps && leave != -1 && !leaveToUpper &&
+					t.basis[r] < t.basis[leave] {
+					leave = r // Bland-style tie-break for anti-cycling
+				}
+			case a < -eps: // basic increases toward its upper bound
+				ub := t.upper[t.basis[r]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				if ratio := (ub - t.val[r]) / (-a); ratio < limit-eps {
+					limit, leave, leaveToUpper = ratio, r, true
+				}
+			}
+		}
+		if math.IsInf(limit, 1) {
+			return Unbounded
+		}
+		if limit < 0 {
+			limit = 0
+		}
+
+		if leave == -1 {
+			t.boundFlip(enter, dir)
+			continue
+		}
+		t.moveAndPivot(enter, dir, limit, leave, leaveToUpper)
+	}
+	return IterLimit
+}
+
+// boundFlip moves nonbasic variable j across its whole interval.
+func (t *warmTableau) boundFlip(j int, dir float64) {
+	dist := t.upper[j] - t.lower[j]
+	for r := 0; r < t.m(); r++ {
+		t.val[r] -= dir * dist * t.coef[r][j]
+	}
+	t.zval += t.coef[t.m()][j] * dir * dist
+	t.atUpper[j] = dir > 0
+}
+
+// moveAndPivot advances the entering variable by dist, retires the leaving
+// basic variable at the bound it hit, and pivots the coefficient matrix.
+func (t *warmTableau) moveAndPivot(enter int, dir, dist float64, leave int, leaveToUpper bool) {
+	for r := 0; r < t.m(); r++ {
+		t.val[r] -= dir * dist * t.coef[r][enter]
+	}
+	t.zval += t.coef[t.m()][enter] * dir * dist
+
+	enterVal := t.lower[enter] + dist
+	if dir < 0 {
+		enterVal = t.upper[enter] - dist
+	}
+	leavingCol := t.basis[leave]
+	t.inBasis[leavingCol] = false
+	t.atUpper[leavingCol] = leaveToUpper
+	t.atUpper[enter] = false
+	t.setBasis(leave, enter)
+	t.val[leave] = enterVal
+
+	pr := t.coef[leave]
+	pv := pr[enter]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for r := range t.coef {
+		if r == leave {
+			continue
+		}
+		f := t.coef[r][enter]
+		//socllint:ignore floateq structural zero skip is an optimization; pivoting handles near-zeros via ratio tests
+		if f == 0 {
+			continue
+		}
+		tr := t.coef[r]
+		for j := range tr {
+			tr[j] -= f * pr[j]
+		}
+		tr[enter] = 0
+	}
+}
+
+// driveOutArtificials pivots zero-valued basic artificials out after phase 1.
+func (t *warmTableau) driveOutArtificials() {
+	for r := 0; r < t.m(); r++ {
+		if !t.isArt[t.basis[r]] {
+			continue
+		}
+		for j := 0; j < t.nStruct+t.nSlack; j++ {
+			if math.Abs(t.coef[r][j]) > 1e-7 && !t.inBasis[j] && !t.atUpper[j] {
+				t.moveAndPivot(j, 1, 0, r, false)
+				break
+			}
+		}
+	}
+}
+
+// copyFrom deep-copies src's state into t, reusing t's storage.
+func (t *warmTableau) copyFrom(src *warmTableau) {
+	m := src.m()
+	t.grow(m, src.nTotal, src.numArtificial)
+	copy(t.flat, src.flat)
+	copy(t.val, src.val)
+	copy(t.basis, src.basis)
+	copy(t.lower, src.lower)
+	copy(t.upper, src.upper)
+	copy(t.cost, src.cost)
+	copy(t.inBasis, src.inBasis)
+	copy(t.atUpper, src.atUpper)
+	copy(t.isArt, src.isArt)
+	t.artCols = append(t.artCols[:0], src.artCols...)
+	t.zval = src.zval
+	t.nStruct, t.nSlack = src.nStruct, src.nSlack
+	t.numArtificial, t.nTotal = src.numArtificial, src.nTotal
+	t.iters, t.maxIters = src.iters, src.maxIters
+}

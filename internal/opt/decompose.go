@@ -43,6 +43,7 @@ func SolveDecomposed(in *model.Instance, opts Options) (DecomposedResult, error)
 	if err := in.Validate(); err != nil {
 		return DecomposedResult{}, err
 	}
+	//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
 	start := time.Now()
 	s := newSolver(in, opts) // reuse demand/cap precomputation
 	deadline := time.Time{}
@@ -57,7 +58,9 @@ func SolveDecomposed(in *model.Instance, opts Options) (DecomposedResult, error)
 	}
 	options := make([][]option, len(s.used))
 	for si := range s.used {
+		//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			//socllint:ignore detrand elapsed wall time is reported, never branched on
 			return DecomposedResult{Result: Result{Status: NoSolution, Elapsed: time.Since(start)}}, nil
 		}
 		maxN := s.capSvc[si]
@@ -88,6 +91,7 @@ func SolveDecomposed(in *model.Instance, opts Options) (DecomposedResult, error)
 			prevLat = lat
 		}
 		if len(options[si]) == 0 {
+			//socllint:ignore detrand elapsed wall time is reported, never branched on
 			return DecomposedResult{Result: Result{Status: Infeasible, Elapsed: time.Since(start)}}, nil
 		}
 	}
@@ -149,6 +153,7 @@ func SolveDecomposed(in *model.Instance, opts Options) (DecomposedResult, error)
 	}
 	dfs(0, 0, 0)
 	if math.IsInf(bestTotal, 1) {
+		//socllint:ignore detrand elapsed wall time is reported, never branched on
 		return DecomposedResult{Result: Result{Status: Infeasible, Elapsed: time.Since(start)}}, nil
 	}
 
@@ -165,7 +170,8 @@ func SolveDecomposed(in *model.Instance, opts Options) (DecomposedResult, error)
 			Placement:     p,
 			StarObjective: bestTotal,
 			Bound:         bestTotal,
-			Elapsed:       time.Since(start),
+			//socllint:ignore detrand elapsed wall time is reported, never branched on
+			Elapsed: time.Since(start),
 		},
 		Applicable: in.CheckStorage(p) == -1,
 	}

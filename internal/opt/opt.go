@@ -35,6 +35,16 @@ type Options struct {
 	// WarmStart, when non-nil, seeds the incumbent (a feasible placement,
 	// e.g. a SoCL solution) to sharpen pruning from the first node.
 	WarmStart *model.Placement
+	// Workers sizes the parallel branch-and-bound worker pool: 0 means
+	// GOMAXPROCS, 1 runs the deterministic engine on one goroutine. Any
+	// worker count returns the same status, objective and — via the
+	// lexicographic incumbent tie-break — the same placement (DESIGN.md §9);
+	// node/time-limited runs excepted, exactly as serially.
+	Workers int
+	// Naive forces the original serial recursive search, kept verbatim as
+	// the reference implementation the parallel engine is differentially
+	// tested against (mirrors ilp.Options.Naive).
+	Naive bool
 }
 
 // Status of an exact solve.
@@ -120,13 +130,18 @@ type solver struct {
 	aborted       bool
 }
 
-// Solve finds the exact optimum of the star-linearized SoCL ILP for in.
+// Solve finds the exact optimum of the star-linearized SoCL ILP for in:
+// the parallel engine by default (engine.go), the original serial recursive
+// search when opts.Naive is set.
 func Solve(in *model.Instance, opts Options) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
-	s := newSolver(in, opts)
-	return s.run(), nil
+	if opts.Naive {
+		s := newSolver(in, opts)
+		return s.run(), nil
+	}
+	return solveEngine(in, opts), nil
 }
 
 func newSolver(in *model.Instance, opts Options) *solver {
@@ -318,6 +333,7 @@ func (s *solver) svcLatencyBound(si, n int) float64 {
 type varRef struct{ si, k int }
 
 func (s *solver) run() Result {
+	//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
 	s.startTime = time.Now()
 	if s.opts.TimeLimit > 0 {
 		s.deadline = s.startTime.Add(s.opts.TimeLimit)
@@ -337,7 +353,8 @@ func (s *solver) run() Result {
 	s.dfs(0)
 
 	res := Result{
-		Nodes:   s.nodes,
+		Nodes: s.nodes,
+		//socllint:ignore detrand elapsed wall time is reported, never branched on
 		Elapsed: time.Since(s.startTime),
 		Bound:   s.rootBound,
 	}
@@ -364,6 +381,7 @@ func (s *solver) limitHit() bool {
 		return true
 	}
 	// Check the wall clock only every 256 nodes to keep the hot loop cheap.
+	//socllint:ignore detrand wall-clock time limit is an explicit Options knob, not hidden nondeterminism
 	if !s.deadline.IsZero() && s.nodes%256 == 0 && time.Now().After(s.deadline) {
 		return true
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/chaos"
 	"repro/internal/combine"
 	"repro/internal/experiments"
 	"repro/internal/ilp"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/partition"
 	"repro/internal/preprov"
+	"repro/internal/repair"
 	"repro/internal/topology"
 )
 
@@ -66,6 +68,26 @@ func runBenchJSON(dir string, workers int) error {
 	optIn := benchJSONInstance(8, 10, 1)
 	ilpIn := benchJSONInstance(4, 4, 1)
 
+	// Fault-repair smoke: crash two hosting nodes, degrade a link, shrink a
+	// node, then measure the incremental repair against its full-re-solve-
+	// routing reference (identical decisions; see internal/repair).
+	chaosIn := benchJSONInstance(10, 40, 1)
+	chaosP := baselines.JDR(chaosIn)
+	chaosMask := chaos.NewMask(chaosIn.Graph)
+	crashed := 0
+	for k := 0; k < chaosIn.V() && crashed < 2; k++ {
+		for i := range chaosP.X {
+			if chaosP.Has(i, k) {
+				mustApplyFault(chaosMask, chaos.Event{Kind: chaos.NodeCrash, Node: k})
+				crashed++
+				break
+			}
+		}
+	}
+	l := chaosMask.Links()[0]
+	mustApplyFault(chaosMask, chaos.Event{Kind: chaos.LinkDegrade, A: l.A, B: l.B, Factor: 0.25})
+	mustApplyFault(chaosMask, chaos.Event{Kind: chaos.StorageShrink, Node: chaosIn.V() - 1, Factor: 0.5})
+
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -107,6 +129,18 @@ func runBenchJSON(dir string, workers int) error {
 		{"OptSolveParallel", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				mustSolveOpt(optIn, opt.Options{TimeLimit: 30 * time.Second, Workers: workers})
+			}
+		}},
+		{"ChaosRepair", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				repair.Run(chaosIn, chaosMask, chaosP, repair.DefaultConfig())
+			}
+		}},
+		{"ChaosRepairNaive", func(b *testing.B) {
+			cfg := repair.DefaultConfig()
+			cfg.Naive = true
+			for i := 0; i < b.N; i++ {
+				repair.Run(chaosIn, chaosMask, chaosP, cfg)
 			}
 		}},
 		{"ILPSolveNaive", func(b *testing.B) {
@@ -156,6 +190,12 @@ func runBenchJSON(dir string, workers int) error {
 	}
 	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
 	return nil
+}
+
+func mustApplyFault(m *chaos.Mask, ev chaos.Event) {
+	if err := m.Apply(ev); err != nil {
+		panic(err)
+	}
 }
 
 func mustSolveOpt(in *model.Instance, o opt.Options) {

@@ -1,6 +1,6 @@
 // Package detrand enforces determinism in the reproducibility-critical
-// packages (model, combine, topology, stats, ilp, opt): every result there
-// must be a pure function of the instance and an explicit seed.
+// packages (model, combine, topology, stats, ilp, opt, chaos, repair): every
+// result there must be a pure function of the instance and an explicit seed.
 //
 // Flagged inside those packages:
 //
@@ -43,15 +43,22 @@ var deterministicPkgs = map[string]bool{
 	"stats":    true,
 	"ilp":      true,
 	"opt":      true,
+	"chaos":    true,
+	"repair":   true,
 }
 
 // mapRangePkgs are the packages where ranging over a map is additionally
 // flagged: the exact solvers promise schedule-independent results (parallel
 // incumbent == serial incumbent, bit for bit), and a map iteration inside
-// the search is the classic way to silently break that promise.
+// the search is the classic way to silently break that promise. The fault
+// stack (chaos, repair) makes the same promise — schedules replay bitwise
+// and repairs pin a bitwise differential against their naive reference — so
+// it lives under the same rule; both packages are slice-indexed throughout.
 var mapRangePkgs = map[string]bool{
-	"ilp": true,
-	"opt": true,
+	"ilp":    true,
+	"opt":    true,
+	"chaos":  true,
+	"repair": true,
 }
 
 // randConstructors are the math/rand package-level functions that build

@@ -1,0 +1,51 @@
+// Package chaos (fixture) exercises the fault-stack contract: the base
+// time/rand checks plus the solver-style map-iteration rule — fault
+// schedules must replay bitwise, so iteration order anywhere in the package
+// has to be deterministic.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+)
+
+func scheduleSeedWrong() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now in deterministic package chaos"
+}
+
+func scheduleSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit seed
+}
+
+func pickVictimGlobal(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn in deterministic package chaos"
+}
+
+func pickVictim(r *rand.Rand, n int) int {
+	return r.Intn(n) // ok: method on an injected generator
+}
+
+func downSetIteration(down map[int]bool) []int {
+	var out []int
+	for k := range down { // want "map iteration in solver package chaos"
+		out = append(out, k)
+	}
+	return out
+}
+
+func downSliceIteration(down []bool) []int {
+	var out []int
+	for k, d := range down { // ok: slice iteration is ordered
+		if d {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func scatterAllowed(scale map[int]float64, dense []float64) {
+	//socllint:ignore detrand fixture: scatter into a dense slice is order-independent
+	for j, v := range scale {
+		dense[j] = v
+	}
+}

@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ScheduleConfig parameterizes fault-schedule generation. All probabilities
+// are per-entity per-slot; durations are geometric with the given mean (each
+// subsequent slot heals with probability 1/mean), the standard memoryless
+// MTTR model.
+type ScheduleConfig struct {
+	// NodeFailProb is the per-node per-slot crash probability.
+	NodeFailProb float64
+	// MeanDownSlots is the mean node outage duration in slots (≥1).
+	MeanDownSlots float64
+	// Correlated is the probability that a crash propagates to each direct
+	// neighbor of the crashing node (shared power/backhaul domains); 0
+	// keeps crashes independent.
+	Correlated float64
+	// LinkFailProb is the per-link per-slot degradation probability.
+	LinkFailProb float64
+	// LinkDegradeFactor scales a degraded link's effective rate (0,1).
+	LinkDegradeFactor float64
+	// MeanDegradeSlots is the mean link degradation duration in slots.
+	MeanDegradeSlots float64
+	// StorageShrinkProb is the per-node per-slot storage-shrink probability.
+	StorageShrinkProb float64
+	// StorageShrinkFactor scales a shrunk node's capacity (0,1).
+	StorageShrinkFactor float64
+	// MeanShrinkSlots is the mean storage-pressure duration in slots.
+	MeanShrinkSlots float64
+	// MinNodesUp floors the number of simultaneously-serving nodes: crashes
+	// that would drop below it are skipped. Defaults to 1 (the substrate
+	// never fully disappears).
+	MinNodesUp int
+}
+
+// DefaultScheduleConfig returns a moderate independent-failure regime: ~5%
+// of nodes and links fault per slot with mean three-slot outages, plus
+// occasional storage pressure.
+func DefaultScheduleConfig() ScheduleConfig {
+	return ScheduleConfig{
+		NodeFailProb:  0.05,
+		MeanDownSlots: 3,
+		LinkFailProb:  0.05, LinkDegradeFactor: 0.25, MeanDegradeSlots: 3,
+		StorageShrinkProb: 0.02, StorageShrinkFactor: 0.5, MeanShrinkSlots: 4,
+		MinNodesUp: 1,
+	}
+}
+
+// CorrelatedScheduleConfig returns the correlated variant: crashes drag each
+// neighbor down with probability one half, modelling shared power or
+// backhaul domains failing together.
+func CorrelatedScheduleConfig() ScheduleConfig {
+	cfg := DefaultScheduleConfig()
+	cfg.Correlated = 0.5
+	return cfg
+}
+
+// FlappingScheduleConfig returns the flapping variant: frequent short
+// outages (mean one slot), the pathological churn regime for repair — state
+// barely settles before the next transition.
+func FlappingScheduleConfig() ScheduleConfig {
+	cfg := DefaultScheduleConfig()
+	cfg.NodeFailProb = 0.25
+	cfg.MeanDownSlots = 1
+	cfg.LinkFailProb = 0.2
+	cfg.MeanDegradeSlots = 1
+	return cfg
+}
+
+// Schedule is a reproducible fault timeline over numSlots time slots.
+// Events are ordered by slot; within a slot, healings precede new faults
+// (a recovery frees capacity before the slot's crashes consume it), and
+// entities are visited in ascending ID order, so replaying a schedule is
+// fully deterministic.
+type Schedule struct {
+	NumSlots int
+	Events   []Event
+}
+
+// At returns the events of one slot (a subslice of Events; do not mutate).
+func (s *Schedule) At(slot int) []Event {
+	lo := sort.Search(len(s.Events), func(i int) bool { return s.Events[i].Slot >= slot })
+	hi := sort.Search(len(s.Events), func(i int) bool { return s.Events[i].Slot > slot })
+	return s.Events[lo:hi]
+}
+
+// Generate draws a fault schedule for g over numSlots slots. The result is a
+// pure function of (g, numSlots, cfg, seed): the generator walks slots, then
+// nodes and links in ascending order, drawing from a single split-seeded
+// stream — never the wall clock, never map iteration (links come from the
+// mask's sorted slice). Crash events always pair with a later NodeRecover
+// (and likewise for degrade/shrink) unless the horizon ends first; outages
+// heal geometrically with the configured means.
+func Generate(g *topology.Graph, numSlots int, cfg ScheduleConfig, seed int64) *Schedule {
+	r := stats.NewRand(stats.SplitSeed(seed, "chaos/schedule"))
+	if cfg.MinNodesUp <= 0 {
+		cfg.MinNodesUp = 1
+	}
+	links := NewMask(g).links // canonical sorted link order
+	n := g.N()
+
+	down := make([]bool, n)
+	degraded := make([]bool, len(links))
+	shrunk := make([]bool, n)
+	upCount := n
+
+	sched := &Schedule{NumSlots: numSlots}
+	healProb := func(mean float64) float64 {
+		if mean <= 1 {
+			return 1
+		}
+		return 1 / mean
+	}
+	crash := func(slot, k int) {
+		if down[k] || upCount-1 < cfg.MinNodesUp {
+			return
+		}
+		down[k] = true
+		upCount--
+		sched.Events = append(sched.Events, Event{Slot: slot, Kind: NodeCrash, Node: k})
+	}
+
+	for slot := 0; slot < numSlots; slot++ {
+		// Healings first: a node that crashed in slot t is down for slots
+		// t..t+d-1 and serves again in t+d.
+		for k := 0; k < n; k++ {
+			if down[k] && r.Float64() < healProb(cfg.MeanDownSlots) {
+				down[k] = false
+				upCount++
+				sched.Events = append(sched.Events, Event{Slot: slot, Kind: NodeRecover, Node: k})
+			}
+		}
+		for i := range links {
+			if degraded[i] && r.Float64() < healProb(cfg.MeanDegradeSlots) {
+				degraded[i] = false
+				sched.Events = append(sched.Events, Event{Slot: slot, Kind: LinkRestore, A: links[i].A, B: links[i].B, Factor: 1})
+			}
+		}
+		for k := 0; k < n; k++ {
+			if shrunk[k] && r.Float64() < healProb(cfg.MeanShrinkSlots) {
+				shrunk[k] = false
+				sched.Events = append(sched.Events, Event{Slot: slot, Kind: StorageRestore, Node: k, Factor: 1})
+			}
+		}
+
+		// New faults.
+		for k := 0; k < n; k++ {
+			if down[k] || r.Float64() >= cfg.NodeFailProb {
+				continue
+			}
+			crash(slot, k)
+			if cfg.Correlated <= 0 {
+				continue
+			}
+			nb := g.Neighbors(k)
+			sort.Ints(nb)
+			for _, q := range nb {
+				if !down[q] && r.Float64() < cfg.Correlated {
+					crash(slot, q)
+				}
+			}
+		}
+		for i := range links {
+			if !degraded[i] && r.Float64() < cfg.LinkFailProb {
+				degraded[i] = true
+				sched.Events = append(sched.Events, Event{
+					Slot: slot, Kind: LinkDegrade,
+					A: links[i].A, B: links[i].B,
+					Factor: clampFactor(cfg.LinkDegradeFactor),
+				})
+			}
+		}
+		for k := 0; k < n; k++ {
+			if !shrunk[k] && r.Float64() < cfg.StorageShrinkProb {
+				shrunk[k] = true
+				sched.Events = append(sched.Events, Event{
+					Slot: slot, Kind: StorageShrink, Node: k,
+					Factor: clampFactor(cfg.StorageShrinkFactor),
+				})
+			}
+		}
+	}
+	return sched
+}

@@ -211,3 +211,25 @@ func TestExtCombineBenchShort(t *testing.T) {
 		}
 	}
 }
+
+func TestExtFaultsShort(t *testing.T) {
+	tb := ExtFaults(shortOpts())
+	if len(tb.Rows) != 3 { // 1 rate × 3 policies in short mode
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	viol := map[string]float64{}
+	reqs := map[string]float64{}
+	for i := range tb.Rows {
+		pol := cell(tb, i, "policy")
+		viol[pol] = cellF(t, tb, i, "viol_rate")
+		reqs[pol] = cellF(t, tb, i, "requests")
+	}
+	// Identical fault/request streams across policies.
+	if reqs["none"] != reqs["repair"] || reqs["none"] != reqs["resolve"] {
+		t.Fatalf("request streams diverge across policies: %v", reqs)
+	}
+	// Repair never serves fewer requests than no repair.
+	if viol["repair"] > viol["none"] {
+		t.Fatalf("repair violation rate %v exceeds no-repair %v", viol["repair"], viol["none"])
+	}
+}

@@ -152,8 +152,8 @@ func TestSimulatorDrivesAllAlgorithms(t *testing.T) {
 			t.Fatalf("%s: %v", algo.Name(), err)
 		}
 		for _, s := range res.Slots {
-			if s.Failed > 0 {
-				t.Fatalf("%s: %d failed requests at slot %d", algo.Name(), s.Failed, s.Slot)
+			if s.Unserved() > 0 {
+				t.Fatalf("%s: %d missing + %d unroutable requests at slot %d", algo.Name(), s.Missing, s.Unroutable, s.Slot)
 			}
 		}
 	}

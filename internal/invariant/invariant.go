@@ -94,6 +94,35 @@ func CheckStorage(in *model.Instance, p model.Placement, where string) {
 	}
 }
 
+// CheckPostRepair revalidates a repaired placement against the paper's
+// feasibility system on the (possibly fault-masked) substrate the evaluation
+// was produced on. Eq. 5 and Eq. 6 are hard: repair's eviction phases must
+// leave cost within budget and every node within its masked capacity, so any
+// violation is a repair bug. Eq. 4 is soft under faults — a degraded
+// substrate may make some deadlines physically unmeetable, and repair's
+// contract is honest accounting rather than a guarantee — so the check
+// recounts deadline violations from the per-request latencies and panics
+// only when the recount disagrees with the evaluation's counter.
+func CheckPostRepair(in *model.Instance, ev *model.Evaluation, where string) {
+	if !Enabled {
+		return
+	}
+	CheckBudget(in, ev.Placement, where)
+	CheckStorage(in, ev.Placement, where)
+	late := 0
+	for h := range in.Workload.Requests {
+		if ev.Routes[h].Nodes == nil && math.IsInf(ev.Latencies[h], 1) {
+			continue // missing instance: counted in MissingInstances, not Eq. 4
+		}
+		if ev.Latencies[h] > in.Workload.Requests[h].Deadline+model.FeasTol {
+			late++
+		}
+	}
+	if late != ev.DeadlineViolated {
+		panic(fmt.Sprintf("invariant: %s: %d deadline violations recounted from latencies, evaluation says %d (Eq. 4)", where, late, ev.DeadlineViolated))
+	}
+}
+
 // CheckDeadlines panics when some finite-deadline request cannot meet its
 // deadline under exact optimal routing (Eq. 4), honoring the cloud fallback
 // exactly as the evaluator and combine's deadlineViolated do: a request

@@ -583,6 +583,12 @@ func (d *DeltaEvaluator) Eval() *Evaluation {
 			}
 		default:
 			ev.Routes[h] = Assignment{Nodes: e.nodes}
+			if math.IsInf(e.lat, 1) {
+				// Routed without the sentinel yet +Inf: instances exist but
+				// every candidate chain is disconnected (same class split as
+				// EvaluateRouted's routeOne).
+				ev.Unroutable++
+			}
 			if e.lat > reqs[h].Deadline+FeasTol {
 				ev.DeadlineViolated++
 			}

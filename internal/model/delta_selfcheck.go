@@ -23,6 +23,7 @@ func (d *DeltaEvaluator) selfCheckDelta(ev *Evaluation) {
 			ev.Objective, fresh.Objective, ev.LatencySum, fresh.LatencySum, ev.Cost, fresh.Cost))
 	}
 	if ev.MissingInstances != fresh.MissingInstances ||
+		ev.Unroutable != fresh.Unroutable ||
 		ev.CloudServed != fresh.CloudServed ||
 		ev.DeadlineViolated != fresh.DeadlineViolated ||
 		ev.StorageViolatedAt != fresh.StorageViolatedAt ||
@@ -74,10 +75,10 @@ func (d *DeltaEvaluator) selfCheckProbe(svc, node int, objective float64, overBu
 }
 
 // countersOf extracts the violation counters for diagnostics.
-func countersOf(ev *Evaluation) [5]int {
+func countersOf(ev *Evaluation) [6]int {
 	over := 0
 	if ev.OverBudget {
 		over = 1
 	}
-	return [5]int{ev.MissingInstances, ev.CloudServed, ev.DeadlineViolated, ev.StorageViolatedAt, over}
+	return [6]int{ev.MissingInstances, ev.Unroutable, ev.CloudServed, ev.DeadlineViolated, ev.StorageViolatedAt, over}
 }

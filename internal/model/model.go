@@ -492,8 +492,17 @@ type Evaluation struct {
 	Cost       float64   // Σ_k 𝒦_k
 	Objective  float64   // λ·Cost + (1−λ)·LatencySum
 
-	// Violations.
+	// Violations. MissingInstances and Unroutable split the two ways a
+	// request can go unserved: no instance of some chain service exists
+	// anywhere (ErrNoInstance, constraint (9)/(10) unsatisfiable — the
+	// provisioning failed), versus instances exist but every candidate chain
+	// is disconnected from the user on the current substrate (+Inf latency
+	// with no sentinel — the network failed). The distinction matters under
+	// fault masking: crashes that cut links produce Unroutable requests that
+	// a placement-level repair cannot fix, while lost instances produce
+	// MissingInstances that re-provisioning can.
 	MissingInstances  int // requests hitting ErrNoInstance (no cloud fallback)
+	Unroutable        int // requests routed to +Inf: instances exist but are unreachable
 	CloudServed       int // requests offloaded to the cloud fallback
 	DeadlineViolated  int // requests with 𝒟_h > 𝒟_h^max
 	StorageViolatedAt int // first node violating (6), or -1
@@ -502,9 +511,13 @@ type Evaluation struct {
 
 // Feasible reports whether the evaluation satisfies all hard constraints.
 func (e *Evaluation) Feasible() bool {
-	return e.MissingInstances == 0 && e.DeadlineViolated == 0 &&
+	return e.MissingInstances == 0 && e.Unroutable == 0 && e.DeadlineViolated == 0 &&
 		e.StorageViolatedAt == -1 && !e.OverBudget
 }
+
+// Unserved returns the number of requests served neither at the edge nor by
+// the cloud fallback: missing-instance plus unroutable requests.
+func (e *Evaluation) Unserved() int { return e.MissingInstances + e.Unroutable }
 
 // Evaluate scores placement p with optimal routing for every request.
 // Requests whose services lack instances contribute +Inf latency and are
@@ -542,9 +555,10 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 	ix.Prewarm()
 	epoch0 := ix.Epoch() // routing must never mutate the index (self-check)
 
-	// routeOne returns flags: missing instance, deadline violated, cloud
-	// fallback used. sc is the calling worker's DP scratch.
-	routeOne := func(h int, sc *RouteScratch) (missing, late, cloud bool) {
+	// routeOne returns flags: missing instance, unroutable (instances exist
+	// but disconnected), deadline violated, cloud fallback used. sc is the
+	// calling worker's DP scratch.
+	routeOne := func(h int, sc *RouteScratch) (missing, unroutable, late, cloud bool) {
 		req := &reqs[h]
 		var (
 			a   Assignment
@@ -568,22 +582,27 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 			if IsNoInstance(err) && in.Cloud != nil {
 				d = in.Cloud.CloudCompletionTime(in.Workload.Catalog, req)
 				ev.Latencies[h] = d
-				return false, d > req.Deadline+FeasTol, true
+				return false, false, d > req.Deadline+FeasTol, true
 			}
 			ev.Latencies[h] = math.Inf(1)
-			return true, false, false
+			return true, false, false, false
 		}
 		ev.Routes[h] = a
 		ev.Latencies[h] = d
-		return false, d > req.Deadline+FeasTol, false
+		// A +Inf latency without the sentinel means every candidate chain is
+		// disconnected from the user: unroutable, not missing.
+		return false, math.IsInf(d, 1), d > req.Deadline+FeasTol, false
 	}
 
 	if len(reqs) < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
 		sc := &RouteScratch{}
 		for h := range reqs {
-			missing, late, cloud := routeOne(h, sc)
+			missing, unroutable, late, cloud := routeOne(h, sc)
 			if missing {
 				ev.MissingInstances++
+			}
+			if unroutable {
+				ev.Unroutable++
 			}
 			if late {
 				ev.DeadlineViolated++
@@ -595,7 +614,7 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 	} else {
 		workers := runtime.GOMAXPROCS(0)
 		var wg sync.WaitGroup
-		var missingCnt, lateCnt, cloudCnt int64
+		var missingCnt, unroutableCnt, lateCnt, cloudCnt int64
 		chunk := (len(reqs) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			lo := w * chunk
@@ -610,11 +629,14 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 			go func(lo, hi int) {
 				defer wg.Done()
 				sc := &RouteScratch{}
-				var localMissing, localLate, localCloud int64
+				var localMissing, localUnroutable, localLate, localCloud int64
 				for h := lo; h < hi; h++ {
-					missing, late, cloud := routeOne(h, sc)
+					missing, unroutable, late, cloud := routeOne(h, sc)
 					if missing {
 						localMissing++
+					}
+					if unroutable {
+						localUnroutable++
 					}
 					if late {
 						localLate++
@@ -624,12 +646,14 @@ func (in *Instance) EvaluateRouted(p Placement, mode RoutingMode, seed int64) *E
 					}
 				}
 				atomic.AddInt64(&missingCnt, localMissing)
+				atomic.AddInt64(&unroutableCnt, localUnroutable)
 				atomic.AddInt64(&lateCnt, localLate)
 				atomic.AddInt64(&cloudCnt, localCloud)
 			}(lo, hi)
 		}
 		wg.Wait()
 		ev.MissingInstances = int(missingCnt)
+		ev.Unroutable = int(unroutableCnt)
 		ev.DeadlineViolated = int(lateCnt)
 		ev.CloudServed = int(cloudCnt)
 	}

@@ -34,7 +34,7 @@ func (in *Instance) selfCheckEvaluation(ev *Evaluation, ix *PlacementIndex, epoc
 	}
 
 	sc := &RouteScratch{}
-	missing, late, cloud := 0, 0, 0
+	missing, unroutable, late, cloud := 0, 0, 0, 0
 	sum := 0.0
 	for h := range in.Workload.Requests {
 		req := &in.Workload.Requests[h]
@@ -68,6 +68,9 @@ func (in *Instance) selfCheckEvaluation(ev *Evaluation, ix *PlacementIndex, epoc
 				panic(fmt.Sprintf("model: evaluation recount: request %d is unroutable but has assignment %v", h, ev.Routes[h].Nodes))
 			}
 		} else {
+			if math.IsInf(d, 1) {
+				unroutable++
+			}
 			if d > req.Deadline+FeasTol {
 				late++
 			}
@@ -87,6 +90,9 @@ func (in *Instance) selfCheckEvaluation(ev *Evaluation, ix *PlacementIndex, epoc
 	}
 	if missing != ev.MissingInstances {
 		panic(fmt.Sprintf("model: evaluation recount: %d missing-instance requests, counter says %d", missing, ev.MissingInstances))
+	}
+	if unroutable != ev.Unroutable {
+		panic(fmt.Sprintf("model: evaluation recount: %d unroutable requests, counter says %d", unroutable, ev.Unroutable))
 	}
 	if late != ev.DeadlineViolated {
 		panic(fmt.Sprintf("model: evaluation recount: %d deadline violations, counter says %d", late, ev.DeadlineViolated))

@@ -1,0 +1,521 @@
+// Package repair is the incremental placement-repair engine: given a fault
+// mask over the substrate (internal/chaos) and the placement that was serving
+// before the faults, it restores service without a full re-solve. The repair
+// pipeline is
+//
+//  1. damage classification — instances lost to crashed nodes
+//     (Mask.MaskPlacement), nodes whose masked storage capacity the surviving
+//     placement now violates (Eq. 6), and budget overruns (Eq. 5);
+//  2. eviction — while some node over-fills its shrunk capacity, or the
+//     deployment exceeds the budget, remove the instance whose removal leaves
+//     the best repair score (ties to the lowest service/node, first-wins
+//     under a strict ObjTol margin);
+//  3. re-provision, in two phases. Restoration first: for each request the
+//     damaged placement cannot serve at all, probe placing its missing chain
+//     services together on one up node (a single tentative bundle, scored
+//     and rolled back) and commit the best bundle that strictly improves the
+//     repair score — single adds cannot cross the valley when a request
+//     needs several services back at once. Then refinement: greedily add
+//     single instances of the damaged services wherever the score strictly
+//     improves, Algorithm-5 style. All candidates are filtered to up nodes
+//     with storage and budget headroom on the masked substrate.
+//
+// Plain Eq. 3/8 objective comparison cannot drive this repair: one unserved
+// request puts +Inf into the latency sum, every candidate ties at +Inf, and
+// greedy improvement stalls. Candidates are therefore ordered by a
+// lexicographic repair score — fewer unserved requests first, then the exact
+// objective over the served remainder (see score).
+//
+// Requests whose services cannot be re-provisioned (no feasible node, budget
+// exhausted) degrade exactly as the evaluator dictates: to the cloud when
+// the instance has a cloud config (ErrNoInstance discipline), otherwise they
+// are reported honestly as MissingInstances/Unroutable — repair never hides
+// damage, it minimizes it.
+//
+// Scoring goes through one of two interchangeable paths. The default binds a
+// model.DeltaEvaluator to the masked instance and pays only incremental
+// re-routing per probe; Config.Naive re-scores every probe with a scratch
+// Instance.EvaluateRouted on a cloned placement — the full re-solve-routing
+// reference. Both paths enumerate candidates identically and the delta
+// engine's evaluations are documented bit-identical to scratch evaluation,
+// so the two produce bitwise-identical repairs; the differential tests pin
+// exactly that.
+//
+// A Result is stamped with the mask epoch it was computed at; once the mask
+// moves (the next fault slot), the result is stale and repair must run
+// again. Under the soclinvariants build tag every finished repair is
+// re-checked against Eq. 4–6 on the masked substrate
+// (invariant.CheckPostRepair).
+package repair
+
+import (
+	"math"
+
+	"repro/internal/chaos"
+	"repro/internal/invariant"
+	"repro/internal/model"
+)
+
+// Config parameterizes one repair run.
+type Config struct {
+	// Naive switches scoring from the incremental DeltaEvaluator to scratch
+	// full evaluations of cloned placements — the full re-solve-routing
+	// reference path. Decisions are bitwise identical; only cost differs.
+	Naive bool
+	// Mode is the routing mode repairs are scored under.
+	Mode model.RoutingMode
+	// Seed feeds RouteModeRandom's per-request streams (unused otherwise).
+	Seed int64
+	// MaxAdds caps re-provisioned instances per run; 0 means unlimited
+	// (termination is still guaranteed: every accepted candidate strictly
+	// improves the lexicographic repair score, which is bounded below). The
+	// cap is checked between commits, so a restoration bundle committed just
+	// under the cap may finish past it.
+	MaxAdds int
+}
+
+// DefaultConfig scores under exact optimal routing with the delta engine.
+func DefaultConfig() Config { return Config{Mode: model.RouteModeOptimal} }
+
+// Damage is the classification of what the active faults broke.
+type Damage struct {
+	// Lost are the instances that sat on crashed nodes, ascending (svc, node).
+	Lost []chaos.Inst
+	// StorageViolated are nodes whose masked capacity the surviving placement
+	// exceeds (Eq. 6), ascending.
+	StorageViolated []int
+	// OverBudget reports an Eq. 5 violation of the surviving placement
+	// (possible only when the pre-fault placement already exceeded budget,
+	// since losing instances never raises cost).
+	OverBudget bool
+}
+
+// Result is one finished repair.
+type Result struct {
+	Damage Damage
+	// Placement is the repaired placement (valid on the masked substrate and,
+	// by construction, only mutated away from the pre-fault placement on
+	// crashed/evicted/added coordinates).
+	Placement model.Placement
+	// Before evaluates the surviving (masked, unrepaired) placement; After
+	// evaluates the repaired one. Both are exact evaluations on the masked
+	// substrate.
+	Before, After *model.Evaluation
+	// Evicted lists instances removed to restore Eq. 5/6; Added lists
+	// re-provisioned instances, in commit order.
+	Evicted, Added []chaos.Inst
+	// RolledBack counts tentatively-applied re-provision candidates that were
+	// scored and reverted rather than committed (the Algorithm-5 roll-backs).
+	RolledBack int
+	// Epoch is the mask epoch the repair was computed at; the result is
+	// stale as soon as Mask.Epoch() moves past it.
+	Epoch uint64
+}
+
+// score is the lexicographic repair objective: first minimize the requests
+// the placement cannot serve at all (the +Inf latency classes — missing
+// without a cloud, and unroutable), then the exact Eq. 3/8 objective over
+// the served remainder. It is derived only from Evaluation fields the delta
+// engine documents bit-identical to scratch evaluation, so both scoring
+// paths compute bitwise-identical scores.
+type score struct {
+	unserved int
+	obj      float64
+}
+
+// scoreEval derives the repair score from an exact evaluation. The served
+// latency sum runs in request-index order — the same deterministic order
+// both evaluators fill Latencies in.
+func scoreEval(in *model.Instance, ev *model.Evaluation) score {
+	lat := 0.0
+	for _, d := range ev.Latencies {
+		if !math.IsInf(d, 1) {
+			lat += d
+		}
+	}
+	return score{unserved: ev.MissingInstances + ev.Unroutable, obj: in.Objective(ev.Cost, lat)}
+}
+
+// betterThan reports a strict lexicographic improvement over b: fewer
+// unserved requests, or equally many and a served-part objective better by
+// more than ObjTol (the strict first-wins margin the rest of the solver
+// stack uses).
+func (a score) betterThan(b score) bool {
+	if a.unserved != b.unserved {
+		return a.unserved < b.unserved
+	}
+	return a.obj < b.obj-model.ObjTol
+}
+
+// scorer abstracts the two scoring paths. All methods are exact (Eq. 1–6)
+// and — across the two implementations — bitwise identical, which is what
+// makes Config.Naive a true reference and not an approximation.
+type scorer interface {
+	// current scores the live placement.
+	current() score
+	// probeRemoval scores the placement with (svc, node) cleared, without
+	// mutating it.
+	probeRemoval(svc, node int) score
+	// probeAdd scores the placement with (svc, node) set, without mutating
+	// it (tentative apply + roll-back on the delta path); the flag reports
+	// an Eq. 5 violation.
+	probeAdd(svc, node int) (score, bool)
+	// probeBundle scores the placement with every listed instance set,
+	// without mutating it.
+	probeBundle(adds []chaos.Inst) (score, bool)
+	// set commits a mutation.
+	set(svc, node int, val bool)
+	// placement returns the live placement (aliased; read-only for callers).
+	placement() model.Placement
+	// eval returns the full exact evaluation of the current placement.
+	eval() *model.Evaluation
+}
+
+// deltaScorer is the incremental path: one DeltaEvaluator bound to the
+// masked instance for the whole repair; probes tentatively Apply, Eval, and
+// Revert, paying only incremental re-routing.
+type deltaScorer struct {
+	in *model.Instance
+	d  *model.DeltaEvaluator
+}
+
+func (s *deltaScorer) scoreNow() (score, bool) {
+	ev := s.d.Eval()
+	return scoreEval(s.in, ev), ev.OverBudget
+}
+func (s *deltaScorer) current() score {
+	sc, _ := s.scoreNow()
+	return sc
+}
+func (s *deltaScorer) probeRemoval(i, k int) score {
+	dl := s.d.Apply(i, k, false)
+	sc, _ := s.scoreNow()
+	s.d.Revert(dl)
+	return sc
+}
+func (s *deltaScorer) probeAdd(i, k int) (score, bool) {
+	dl := s.d.Apply(i, k, true)
+	sc, over := s.scoreNow()
+	s.d.Revert(dl)
+	return sc, over
+}
+func (s *deltaScorer) probeBundle(adds []chaos.Inst) (score, bool) {
+	dls := make([]*model.Delta, 0, len(adds))
+	for _, a := range adds {
+		dls = append(dls, s.d.Apply(a.Svc, a.Node, true))
+	}
+	sc, over := s.scoreNow()
+	for j := len(dls) - 1; j >= 0; j-- { // LIFO revert discipline
+		s.d.Revert(dls[j])
+	}
+	return sc, over
+}
+func (s *deltaScorer) set(i, k int, val bool)     { s.d.Apply(i, k, val) }
+func (s *deltaScorer) placement() model.Placement { return s.d.Placement() }
+func (s *deltaScorer) eval() *model.Evaluation    { return s.d.Eval() }
+
+// naiveScorer is the reference path: every score is a scratch
+// EvaluateRouted, probes clone the placement.
+type naiveScorer struct {
+	in   *model.Instance
+	p    model.Placement
+	mode model.RoutingMode
+	seed int64
+}
+
+func (s *naiveScorer) scoreOf(p model.Placement) (score, bool) {
+	ev := s.in.EvaluateRouted(p, s.mode, s.seed)
+	return scoreEval(s.in, ev), ev.OverBudget
+}
+func (s *naiveScorer) current() score {
+	sc, _ := s.scoreOf(s.p)
+	return sc
+}
+func (s *naiveScorer) probeRemoval(i, k int) score {
+	q := s.p.Clone()
+	q.Set(i, k, false)
+	sc, _ := s.scoreOf(q)
+	return sc
+}
+func (s *naiveScorer) probeAdd(i, k int) (score, bool) {
+	q := s.p.Clone()
+	q.Set(i, k, true)
+	return s.scoreOf(q)
+}
+func (s *naiveScorer) probeBundle(adds []chaos.Inst) (score, bool) {
+	q := s.p.Clone()
+	for _, a := range adds {
+		q.Set(a.Svc, a.Node, true)
+	}
+	return s.scoreOf(q)
+}
+func (s *naiveScorer) set(i, k int, val bool) { s.p.Set(i, k, val) }
+func (s *naiveScorer) placement() model.Placement {
+	return s.p
+}
+func (s *naiveScorer) eval() *model.Evaluation {
+	return s.in.EvaluateRouted(s.p, s.mode, s.seed)
+}
+
+// Classify reports the damage the mask's active faults inflict on p without
+// repairing anything; the masked placement (lost instances cleared) is
+// returned alongside. in must be built on the mask's base graph.
+func Classify(in *model.Instance, m *chaos.Mask, p model.Placement) (Damage, model.Placement) {
+	min := m.Instance(in)
+	masked, lost := m.MaskPlacement(p)
+	dmg := Damage{Lost: lost}
+	for k := 0; k < min.V(); k++ {
+		if min.StorageUsed(masked, k) > min.Graph.Node(k).Storage+model.FeasTol {
+			dmg.StorageViolated = append(dmg.StorageViolated, k)
+		}
+	}
+	dmg.OverBudget = !min.CheckBudget(masked)
+	return dmg, masked
+}
+
+// Run repairs p against the mask's current fault state and returns the
+// finished Result. p itself is never mutated; the repair works on the masked
+// copy. in must be built on the mask's base graph (Mask.Instance panics
+// otherwise).
+func Run(in *model.Instance, m *chaos.Mask, p model.Placement, cfg Config) *Result {
+	min := m.Instance(in)
+	dmg, masked := Classify(in, m, p)
+	res := &Result{Damage: dmg, Epoch: m.Epoch()}
+
+	var s scorer
+	if cfg.Naive {
+		s = &naiveScorer{in: min, p: masked, mode: cfg.Mode, seed: cfg.Seed}
+	} else {
+		s = &deltaScorer{in: min, d: model.NewDeltaEvaluator(min, masked, cfg.Mode, cfg.Seed)}
+	}
+	res.Before = s.eval()
+
+	evictStorage(min, s, res)
+	evictBudget(min, s, res)
+	reprovision(min, m, s, res, cfg)
+
+	res.After = s.eval()
+	res.Placement = s.placement()
+	invariant.CheckPostRepair(min, res.After, "repair.Run")
+	return res
+}
+
+// evictStorage clears Eq. 6 violations on the masked substrate: while some
+// node over-fills its (possibly shrunk) capacity, remove the instance on it
+// whose removal leaves the best repair score. CheckStorage returns the
+// first violating node, services are probed ascending, and a candidate
+// replaces the incumbent only when strictly better — all first-wins
+// deterministic.
+func evictStorage(min *model.Instance, s scorer, res *Result) {
+	for {
+		k := min.CheckStorage(s.placement())
+		if k < 0 {
+			return
+		}
+		cur := s.placement()
+		var best score
+		bestSvc := -1
+		for i := range cur.X {
+			if !cur.Has(i, k) {
+				continue
+			}
+			sc := s.probeRemoval(i, k)
+			if bestSvc < 0 || sc.betterThan(best) {
+				best, bestSvc = sc, i
+			}
+		}
+		if bestSvc < 0 {
+			return // unreachable: a violating node stores at least one instance
+		}
+		s.set(bestSvc, k, false)
+		res.Evicted = append(res.Evicted, chaos.Inst{Svc: bestSvc, Node: k})
+	}
+}
+
+// evictBudget clears Eq. 5 violations: while the deployment exceeds the
+// budget, remove the globally least-damaging instance (ascending svc, node;
+// strict score margin, first-wins).
+func evictBudget(min *model.Instance, s scorer, res *Result) {
+	for !min.CheckBudget(s.placement()) {
+		cur := s.placement()
+		var best score
+		bestSvc, bestNode := -1, -1
+		for i := range cur.X {
+			for k, on := range cur.X[i] {
+				if !on {
+					continue
+				}
+				sc := s.probeRemoval(i, k)
+				if bestSvc < 0 || sc.betterThan(best) {
+					best, bestSvc, bestNode = sc, i, k
+				}
+			}
+		}
+		if bestSvc < 0 {
+			return // empty placement cannot exceed a non-negative budget
+		}
+		s.set(bestSvc, bestNode, false)
+		res.Evicted = append(res.Evicted, chaos.Inst{Svc: bestSvc, Node: bestNode})
+	}
+}
+
+// reprovision re-adds instances in two phases.
+//
+// Phase 1, restoration: while some request is unserved (+Inf latency), walk
+// the unserved requests ascending and, for each, probe every up node's
+// restoration bundle — the request's chain services not already on that
+// node, provisioned together (storage and budget prefiltered on the masked
+// substrate). The first request with a strictly score-improving bundle gets
+// its best bundle committed, then the placement is re-evaluated (one bundle
+// often serves several requests). Bundles are what let repair heal network
+// partitions: a request that needs three services back will never be fixed
+// by single adds, each of which looks like pure cost.
+//
+// Phase 2, refinement: greedily add single instances of the damaged
+// services — lost to a crash, given up to eviction, or in the chain of a
+// request the pre-repair evaluation could not edge-serve — wherever the
+// repair score strictly improves, Algorithm-5 style: every feasible
+// candidate is tentatively applied, scored, rolled back, and only the
+// round's best strictly-improving candidate is committed.
+func reprovision(min *model.Instance, m *chaos.Mask, s scorer, res *Result, cfg Config) {
+	probes, commits := 0, 0
+	defer func() { res.RolledBack = probes - commits }()
+
+	for cfg.MaxAdds <= 0 || len(res.Added) < cfg.MaxAdds {
+		ev := s.eval()
+		curScore := scoreEval(min, ev)
+		if curScore.unserved == 0 {
+			break
+		}
+		cur := s.placement()
+		curCost := min.DeployCost(cur)
+		committed := false
+		for h := range ev.Latencies {
+			if !math.IsInf(ev.Latencies[h], 1) {
+				continue // served (edge or cloud)
+			}
+			best := curScore
+			bestNode := -1
+			var bestBundle []chaos.Inst
+			for k := 0; k < min.V(); k++ {
+				if !m.NodeUp(k) {
+					continue
+				}
+				bundle := restoreBundle(min, cur, h, k, curCost)
+				if bundle == nil {
+					continue
+				}
+				sc, over := s.probeBundle(bundle)
+				probes++
+				if over {
+					continue
+				}
+				if sc.betterThan(best) {
+					best, bestNode, bestBundle = sc, k, bundle
+				}
+			}
+			if bestNode >= 0 {
+				for _, a := range bestBundle {
+					s.set(a.Svc, a.Node, true)
+				}
+				res.Added = append(res.Added, bestBundle...)
+				commits++
+				committed = true
+				break // re-evaluate: the bundle may have served other requests too
+			}
+		}
+		if !committed {
+			break // remaining unserved requests have no feasible restoration
+		}
+	}
+
+	damaged := make([]bool, min.M())
+	for _, li := range res.Damage.Lost {
+		damaged[li.Svc] = true
+	}
+	for _, e := range res.Evicted {
+		damaged[e.Svc] = true
+	}
+	for h := range res.Before.Latencies {
+		if res.Before.Routes[h].Nodes != nil && !math.IsInf(res.Before.Latencies[h], 1) {
+			continue // edge-served pre-repair: its services are intact
+		}
+		for _, svc := range min.Workload.Requests[h].Chain {
+			damaged[svc] = true
+		}
+	}
+	for cfg.MaxAdds <= 0 || len(res.Added) < cfg.MaxAdds {
+		curScore := s.current()
+		cur := s.placement()
+		curCost := min.DeployCost(cur)
+		best := curScore
+		bestSvc, bestNode := -1, -1
+		for i := 0; i < min.M(); i++ {
+			if !damaged[i] {
+				continue
+			}
+			svc := min.Workload.Catalog.Service(i)
+			if curCost+svc.DeployCost > min.Budget+model.FeasTol {
+				continue // no budget headroom for this service
+			}
+			for k := 0; k < min.V(); k++ {
+				if !m.NodeUp(k) || cur.Has(i, k) {
+					continue
+				}
+				if min.StorageUsed(cur, k)+svc.Storage > min.Graph.Node(k).Storage+model.FeasTol {
+					continue // no storage headroom on the masked capacity
+				}
+				sc, over := s.probeAdd(i, k)
+				probes++
+				if over {
+					continue
+				}
+				if sc.betterThan(best) {
+					best, bestSvc, bestNode = sc, i, k
+				}
+			}
+		}
+		if bestSvc < 0 {
+			break
+		}
+		s.set(bestSvc, bestNode, true)
+		res.Added = append(res.Added, chaos.Inst{Svc: bestSvc, Node: bestNode})
+		commits++
+	}
+}
+
+// restoreBundle is the phase-1 restoration candidate for request h on node
+// k: every chain service not already placed on k, provisioned together.
+// Returns nil when the chain is already fully present on k, or when k lacks
+// the storage (masked capacity) or the deployment lacks the budget headroom
+// for the whole bundle.
+func restoreBundle(min *model.Instance, cur model.Placement, h, k int, curCost float64) []chaos.Inst {
+	var adds []chaos.Inst
+	need := min.StorageUsed(cur, k)
+	cost := curCost
+chain:
+	for _, i := range min.Workload.Requests[h].Chain {
+		if cur.Has(i, k) {
+			continue
+		}
+		for _, a := range adds {
+			if a.Svc == i {
+				continue chain // chains may repeat a service
+			}
+		}
+		svc := min.Workload.Catalog.Service(i)
+		need += svc.Storage
+		cost += svc.DeployCost
+		adds = append(adds, chaos.Inst{Svc: i, Node: k})
+	}
+	if len(adds) == 0 {
+		return nil
+	}
+	if need > min.Graph.Node(k).Storage+model.FeasTol {
+		return nil
+	}
+	if cost > min.Budget+model.FeasTol {
+		return nil
+	}
+	return adds
+}

@@ -1,0 +1,260 @@
+package repair
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/chaos"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/topology"
+)
+
+func testInstance(t *testing.T, nodes, users int, seed int64) *model.Instance {
+	t.Helper()
+	g := topology.RandomGeometric(nodes, 0.4, topology.DefaultGenConfig(), seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	cfg := msvc.DefaultWorkloadConfig(users)
+	cfg.DeadlineSlack = 0
+	w, err := msvc.GenerateWorkload(cat, g, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 8000}
+}
+
+// faultsOf builds a small single-kind fault burst for the differential test.
+func faultsOf(t *testing.T, kind chaos.FaultKind, in *model.Instance, p model.Placement) []chaos.Event {
+	t.Helper()
+	switch kind {
+	case chaos.NodeCrash:
+		// Crash two nodes that host instances, so repair has real work.
+		var evs []chaos.Event
+		for k := 0; k < in.V() && len(evs) < 2; k++ {
+			for i := range p.X {
+				if p.Has(i, k) {
+					evs = append(evs, chaos.Event{Kind: chaos.NodeCrash, Node: k})
+					break
+				}
+			}
+		}
+		if len(evs) == 0 {
+			t.Fatal("placement deploys nothing; bad test instance")
+		}
+		return evs
+	case chaos.LinkDegrade:
+		links := chaos.NewMask(in.Graph).Links()
+		var evs []chaos.Event
+		for i := 0; i < len(links) && i < 3; i++ {
+			evs = append(evs, chaos.Event{Kind: chaos.LinkDegrade, A: links[i].A, B: links[i].B, Factor: 0.1})
+		}
+		return evs
+	case chaos.StorageShrink:
+		// Shrink hard enough that loaded nodes violate Eq. 6 and force
+		// eviction.
+		var evs []chaos.Event
+		for k := 0; k < in.V() && k < 3; k++ {
+			evs = append(evs, chaos.Event{Kind: chaos.StorageShrink, Node: k, Factor: 0.2})
+		}
+		return evs
+	default:
+		t.Fatalf("unsupported fault kind %v", kind)
+		return nil
+	}
+}
+
+// TestRepairMatchesNaive is the differential guarantee: the delta-scored
+// repair and the full-re-solve-routing reference make bitwise-identical
+// decisions on identical damage, across seeds and fault kinds.
+func TestRepairMatchesNaive(t *testing.T) {
+	kinds := []chaos.FaultKind{chaos.NodeCrash, chaos.LinkDegrade, chaos.StorageShrink}
+	for _, seed := range []int64{1, 2, 3} {
+		in := testInstance(t, 8, 25, seed)
+		p := baselines.JDR(in)
+		for _, kind := range kinds {
+			m := chaos.NewMask(in.Graph)
+			for _, ev := range faultsOf(t, kind, in, p) {
+				if err := m.Apply(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fast := Run(in, m, p, DefaultConfig())
+			cfg := DefaultConfig()
+			cfg.Naive = true
+			ref := Run(in, m, p, cfg)
+
+			if !reflect.DeepEqual(fast.Evicted, ref.Evicted) {
+				t.Fatalf("seed %d %v: evictions diverge: %v vs naive %v", seed, kind, fast.Evicted, ref.Evicted)
+			}
+			if !reflect.DeepEqual(fast.Added, ref.Added) {
+				t.Fatalf("seed %d %v: additions diverge: %v vs naive %v", seed, kind, fast.Added, ref.Added)
+			}
+			if fast.RolledBack != ref.RolledBack {
+				t.Fatalf("seed %d %v: roll-back counts diverge: %d vs naive %d", seed, kind, fast.RolledBack, ref.RolledBack)
+			}
+			if !reflect.DeepEqual(fast.Placement, ref.Placement) {
+				t.Fatalf("seed %d %v: repaired placements diverge", seed, kind)
+			}
+			for _, pair := range [][2]float64{
+				{fast.After.Objective, ref.After.Objective},
+				{fast.After.LatencySum, ref.After.LatencySum},
+				{fast.After.Cost, ref.After.Cost},
+				{fast.Before.Objective, ref.Before.Objective},
+			} {
+				if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+					t.Fatalf("seed %d %v: scalar diverges: %v vs naive %v", seed, kind, pair[0], pair[1])
+				}
+			}
+			if fast.After.MissingInstances != ref.After.MissingInstances ||
+				fast.After.Unroutable != ref.After.Unroutable ||
+				fast.After.CloudServed != ref.After.CloudServed {
+				t.Fatalf("seed %d %v: request classes diverge: %+v vs naive %+v", seed, kind, fast.After, ref.After)
+			}
+		}
+	}
+}
+
+// TestRepairImprovesOrHolds: without forced evictions, repair only ever
+// commits strict objective improvements, so After can never score worse
+// than Before.
+func TestRepairImprovesOrHolds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		in := testInstance(t, 8, 25, seed)
+		p := baselines.JDR(in)
+		m := chaos.NewMask(in.Graph)
+		for _, ev := range faultsOf(t, chaos.NodeCrash, in, p) {
+			if err := m.Apply(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := Run(in, m, p, DefaultConfig())
+		if len(res.Evicted) != 0 {
+			t.Fatalf("seed %d: node crashes forced evictions %v", seed, res.Evicted)
+		}
+		if res.After.Objective > res.Before.Objective+model.ObjTol {
+			t.Fatalf("seed %d: repair hurt the objective: %v -> %v", seed, res.Before.Objective, res.After.Objective)
+		}
+		if len(res.Damage.Lost) == 0 {
+			t.Fatalf("seed %d: crash of a hosting node lost no instances", seed)
+		}
+	}
+}
+
+// TestRepairEnforcesFeasibility: storage shrinks must always end Eq. 5/6
+// feasible on the masked substrate, with every eviction accounted.
+func TestRepairEnforcesFeasibility(t *testing.T) {
+	in := testInstance(t, 8, 25, 2)
+	p := baselines.JDR(in)
+	m := chaos.NewMask(in.Graph)
+	for _, ev := range faultsOf(t, chaos.StorageShrink, in, p) {
+		if err := m.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dmg, _ := Classify(in, m, p)
+	res := Run(in, m, p, DefaultConfig())
+	if !reflect.DeepEqual(res.Damage, dmg) {
+		t.Fatalf("Run's damage %+v != Classify's %+v", res.Damage, dmg)
+	}
+	min := m.Instance(in)
+	if k := min.CheckStorage(res.Placement); k >= 0 {
+		t.Fatalf("repaired placement still violates storage at node %d", k)
+	}
+	if !min.CheckBudget(res.Placement) {
+		t.Fatalf("repaired placement exceeds budget: cost %v > %v", min.DeployCost(res.Placement), min.Budget)
+	}
+	if len(dmg.StorageViolated) > 0 && len(res.Evicted) == 0 {
+		t.Fatalf("storage violations %v repaired with no evictions", dmg.StorageViolated)
+	}
+	if res.Epoch != m.Epoch() {
+		t.Fatalf("result epoch %d != mask epoch %d", res.Epoch, m.Epoch())
+	}
+}
+
+// TestRepairCrashRecoverRoundTrip: crash, repair, recover, repair again —
+// once the mask is pristine the masked instance is the base instance, and
+// evaluating the original placement restores the pre-fault evaluation bit
+// for bit.
+func TestRepairCrashRecoverRoundTrip(t *testing.T) {
+	in := testInstance(t, 8, 25, 3)
+	p := baselines.JDR(in)
+	base := in.EvaluateRouted(p, model.RouteModeOptimal, 0)
+
+	m := chaos.NewMask(in.Graph)
+	crash := faultsOf(t, chaos.NodeCrash, in, p)
+	for _, ev := range crash {
+		if err := m.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := Run(in, m, p, DefaultConfig())
+	if len(mid.Damage.Lost) == 0 {
+		t.Fatal("crash lost no instances")
+	}
+
+	for _, ev := range crash {
+		if err := m.Apply(chaos.Event{Kind: chaos.NodeRecover, Node: ev.Node}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Pristine() {
+		t.Fatal("recovering every crashed node did not restore the pristine mask")
+	}
+	post := Run(in, m, p, DefaultConfig())
+	if len(post.Damage.Lost) != 0 || len(post.Evicted) != 0 || len(post.Added) != 0 {
+		t.Fatalf("repair on a pristine mask was not the identity: %+v", post)
+	}
+	if math.Float64bits(post.After.Objective) != math.Float64bits(base.Objective) ||
+		math.Float64bits(post.After.LatencySum) != math.Float64bits(base.LatencySum) ||
+		math.Float64bits(post.After.Cost) != math.Float64bits(base.Cost) {
+		t.Fatalf("post-recovery evaluation diverges from the pre-fault baseline: %v vs %v", post.After.Objective, base.Objective)
+	}
+	for h := range base.Latencies {
+		if math.Float64bits(post.After.Latencies[h]) != math.Float64bits(base.Latencies[h]) {
+			t.Fatalf("request %d latency %v != pre-fault %v", h, post.After.Latencies[h], base.Latencies[h])
+		}
+	}
+}
+
+// TestRepairCloudFallback: with a cloud configured, requests whose services
+// cannot be restored degrade to the cloud instead of counting missing.
+func TestRepairCloudFallback(t *testing.T) {
+	in := testInstance(t, 8, 25, 1)
+	cc := model.DefaultCloudConfig()
+	in.Cloud = &cc
+	in.Budget = 0 // no re-provision headroom at all
+	p := baselines.JDR(in)
+	// Zero budget: JDR may deploy nothing, so place one instance by hand to
+	// have something to lose.
+	if p.Instances() == 0 {
+		p.Set(0, 0, true)
+	}
+	m := chaos.NewMask(in.Graph)
+	var crashed []int
+	for k := 0; k < in.V(); k++ {
+		for i := range p.X {
+			if p.Has(i, k) {
+				if err := m.Apply(chaos.Event{Kind: chaos.NodeCrash, Node: k}); err != nil {
+					t.Fatal(err)
+				}
+				crashed = append(crashed, k)
+				break
+			}
+		}
+	}
+	if len(crashed) == 0 {
+		t.Fatal("nothing deployed, nothing to crash")
+	}
+	res := Run(in, m, p, DefaultConfig())
+	if res.After.MissingInstances != 0 {
+		t.Fatalf("cloud fallback left %d requests missing", res.After.MissingInstances)
+	}
+	if res.After.CloudServed == 0 {
+		t.Fatal("losing every instance cloud-served no requests")
+	}
+	if len(res.Added) != 0 {
+		t.Fatalf("zero budget still re-provisioned %v", res.Added)
+	}
+}

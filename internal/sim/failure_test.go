@@ -24,8 +24,21 @@ func TestAlgorithmErrorPropagates(t *testing.T) {
 	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), 31)
 	cfg := DefaultConfig(g, cat, 5, 31)
 	cfg.DurationMinutes = 10
-	if _, err := Run(cfg, errAlgo{}); err == nil {
+	res, err := Run(cfg, errAlgo{})
+	if err == nil {
 		t.Fatal("algorithm error swallowed")
+	}
+	// Mid-run failures return the partial result covering completed slots.
+	if res == nil {
+		t.Fatal("mid-run error dropped the partial result")
+	}
+	if len(res.Slots) >= int(cfg.DurationMinutes/cfg.SlotMinutes) {
+		t.Fatalf("partial result claims %d completed slots despite failing", len(res.Slots))
+	}
+	for _, s := range res.Slots {
+		if s.Requests != 0 {
+			t.Fatalf("slot %d with requests recorded before the failing Place", s.Slot)
+		}
 	}
 }
 

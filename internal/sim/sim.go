@@ -15,9 +15,11 @@ import (
 	"time"
 
 	"repro/internal/baselines"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/msvc"
+	"repro/internal/repair"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -113,6 +115,19 @@ type Config struct {
 	Workload msvc.WorkloadConfig // data-volume ranges; NumUsers is ignored
 
 	Seed int64
+
+	// Faults, when non-nil, injects the schedule's node/link/storage faults
+	// into the run (see internal/chaos); nil preserves the no-fault path
+	// byte for byte. The schedule must be generated over this Config's Graph.
+	Faults *chaos.Schedule
+	// Policy selects the response to fault damage (ignored without Faults).
+	Policy FaultPolicy
+	// Repair tunes PolicyRepair; its Mode and Seed are overridden per slot
+	// to match the algorithm's routing. Naive/MaxAdds are honored.
+	Repair repair.Config
+	// Cloud, when non-nil, gives requests whose services are missing a WAN
+	// fallback instead of going unserved (model.ErrNoInstance discipline).
+	Cloud *model.CloudConfig
 }
 
 // DefaultConfig mirrors the paper's 4-hour trace experiment. The testbed
@@ -150,8 +165,31 @@ type SlotRecord struct {
 	MaxDelay    float64
 	Cost        float64
 	Objective   float64
-	PlaceTime   time.Duration // algorithm decision time
-	Failed      int           // requests with no reachable instance
+	// ServedObjective is the Eq. 3/8 objective over the requests the slot
+	// actually served: one unserved request drives Objective to +Inf, so
+	// cross-policy comparisons under faults need the finite served part.
+	// Equal to Objective (bitwise) whenever every request was served.
+	ServedObjective float64
+	PlaceTime       time.Duration // algorithm decision time
+
+	// Missing counts requests with no deployed instance of some chain
+	// service (model.ErrNoInstance, no cloud fallback); Unroutable counts
+	// requests whose services were deployed but unreachable (+Inf completion
+	// time). The old Failed counter conflated the two.
+	Missing    int
+	Unroutable int
+	// CloudServed counts requests served by the WAN fallback; Degraded
+	// counts edge-served requests slower than the slot's no-fault reference.
+	CloudServed int
+	Degraded    int
+
+	// Fault telemetry (zero without Config.Faults).
+	FaultEvents int           // chaos events applied this slot
+	DownNodes   int           // nodes down after this slot's events
+	Rehomed     int           // users moved off freshly-crashed nodes
+	RepairTime  time.Duration // repair.Run or re-solve time, by policy
+	RepairAdds  int           // instances re-provisioned (PolicyRepair)
+	RepairEvict int           // instances evicted for Eq. 5/6 (PolicyRepair)
 }
 
 // Result aggregates a full simulation run.
@@ -191,7 +229,9 @@ func (r *Result) TotalCost() float64 {
 	return s
 }
 
-// Run simulates algo over the configured horizon.
+// Run simulates algo over the configured horizon. A mid-run algorithm or
+// fault-replay failure returns the partial *Result covering every completed
+// slot alongside the error, so callers can diagnose how far the run got.
 func Run(cfg Config, algo Algorithm) (*Result, error) {
 	if cfg.Graph == nil || cfg.Catalog == nil {
 		return nil, fmt.Errorf("sim: nil graph or catalog")
@@ -208,6 +248,10 @@ func Run(cfg Config, algo Algorithm) (*Result, error) {
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("sim: catalog has no flows")
 	}
+	var mask *chaos.Mask
+	if cfg.Faults != nil {
+		mask = chaos.NewMask(cfg.Graph)
+	}
 
 	// User state: current node.
 	homes := make([]int, cfg.NumUsers)
@@ -218,12 +262,16 @@ func Run(cfg Config, algo Algorithm) (*Result, error) {
 	numSlots := int(cfg.DurationMinutes / cfg.SlotMinutes)
 	res := &Result{Algorithm: algo.Name()}
 	for slot := 0; slot < numSlots; slot++ {
-		// Mobility: random-waypoint hop to a neighbor.
+		// Mobility: random-waypoint hop to a neighbor (never onto a node the
+		// user can observe to be down).
 		for u := range homes {
 			if r.Float64() < cfg.MoveProb {
 				nb := cfg.Graph.Neighbors(homes[u])
 				if len(nb) > 0 {
-					homes[u] = nb[r.Intn(len(nb))]
+					hop := nb[r.Intn(len(nb))]
+					if mask == nil || mask.NodeUp(hop) {
+						homes[u] = hop
+					}
 				}
 			}
 		}
@@ -232,27 +280,52 @@ func Run(cfg Config, algo Algorithm) (*Result, error) {
 		reqs := makeSlotRequests(cfg, r, homes, flows)
 		rec := SlotRecord{Slot: slot, TimeMinutes: float64(slot) * cfg.SlotMinutes, Requests: len(reqs)}
 		if len(reqs) == 0 {
+			// Still advance the fault timeline so the mask stays aligned
+			// with the schedule's slots.
+			if mask != nil {
+				if err := applySlotFaults(mask, cfg.Faults, slot, &rec); err != nil {
+					return res, err
+				}
+			}
 			res.Slots = append(res.Slots, rec)
 			continue
 		}
+		// The algorithm plans on the substrate as currently known: the base
+		// graph, or the mask state left by previous slots — this slot's
+		// faults have not struck yet.
+		planGraph := cfg.Graph
+		if mask != nil {
+			planGraph = mask.Graph()
+		}
 		in := &model.Instance{
-			Graph:    cfg.Graph,
+			Graph:    planGraph,
 			Workload: &msvc.Workload{Catalog: cfg.Catalog, Requests: reqs},
 			Lambda:   cfg.Lambda,
 			Budget:   cfg.Budget,
+			Cloud:    cfg.Cloud,
 		}
 
 		t0 := time.Now()
 		placement, err := algo.Place(in)
 		rec.PlaceTime = time.Since(t0)
 		if err != nil {
-			return nil, fmt.Errorf("sim: %s failed at slot %d: %w", algo.Name(), slot, err)
+			return res, fmt.Errorf("sim: %s failed at slot %d: %w", algo.Name(), slot, err)
 		}
 
-		ev := in.EvaluateRouted(placement, algo.Routing(), stats.SplitSeed(cfg.Seed, "sim/route")+int64(slot))
+		var ev *model.Evaluation
+		if mask == nil {
+			ev = in.EvaluateRouted(placement, algo.Routing(), routeSeed(cfg, slot))
+		} else {
+			ev, err = serveFaultySlot(cfg, algo, mask, slot, homes, reqs, placement, &rec)
+			if err != nil {
+				return res, fmt.Errorf("sim: slot %d: %w", slot, err)
+			}
+		}
 		rec.Cost = ev.Cost
 		rec.Objective = ev.Objective
-		rec.Failed = ev.MissingInstances
+		rec.Missing = ev.MissingInstances
+		rec.Unroutable = ev.Unroutable
+		rec.CloudServed = ev.CloudServed
 		maxd := 0.0
 		sum, n := 0.0, 0
 		for _, d := range ev.Latencies {
@@ -270,9 +343,87 @@ func Run(cfg Config, algo Algorithm) (*Result, error) {
 			rec.AvgDelay = sum / float64(n)
 		}
 		rec.MaxDelay = maxd
+		rec.ServedObjective = in.Objective(ev.Cost, sum)
 		res.Slots = append(res.Slots, rec)
 	}
 	return res, nil
+}
+
+// applySlotFaults folds one slot's schedule events into the mask and records
+// the fault telemetry.
+func applySlotFaults(mask *chaos.Mask, sched *chaos.Schedule, slot int, rec *SlotRecord) error {
+	evs := sched.At(slot)
+	for _, e := range evs {
+		if err := mask.Apply(e); err != nil {
+			return fmt.Errorf("sim: applying fault %v: %w", e, err)
+		}
+	}
+	rec.FaultEvents = len(evs)
+	rec.DownNodes = len(mask.DownNodes())
+	return nil
+}
+
+// serveFaultySlot runs steps 2–5 of the faulty-slot timeline (see faults.go):
+// strike this slot's faults, re-home displaced users, apply the fault
+// policy to the stale plan, and evaluate what actually serves on the masked
+// substrate.
+func serveFaultySlot(cfg Config, algo Algorithm, mask *chaos.Mask, slot int,
+	homes []int, reqs []msvc.Request, placement model.Placement, rec *SlotRecord) (*model.Evaluation, error) {
+	if err := applySlotFaults(mask, cfg.Faults, slot, rec); err != nil {
+		return nil, err
+	}
+	rec.Rehomed = rehomeUsers(mask, cfg.Graph, homes, reqs)
+	// evalIn lives on the base graph — repair and the mask derive the masked
+	// views themselves — with the re-homed requests.
+	evalIn := &model.Instance{
+		Graph:    cfg.Graph,
+		Workload: &msvc.Workload{Catalog: cfg.Catalog, Requests: reqs},
+		Lambda:   cfg.Lambda,
+		Budget:   cfg.Budget,
+		Cloud:    cfg.Cloud,
+	}
+	seed := routeSeed(cfg, slot)
+
+	var ev *model.Evaluation
+	switch cfg.Policy {
+	case PolicyRepair:
+		rcfg := cfg.Repair
+		rcfg.Mode = algo.Routing()
+		rcfg.Seed = seed
+		t1 := time.Now()
+		rres := repair.Run(evalIn, mask, placement, rcfg)
+		rec.RepairTime = time.Since(t1)
+		rec.RepairAdds = len(rres.Added)
+		rec.RepairEvict = len(rres.Evicted)
+		ev = rres.After
+	case PolicyResolve:
+		mi := mask.Instance(evalIn)
+		t1 := time.Now()
+		p2, err := algo.Place(mi)
+		rec.RepairTime = time.Since(t1)
+		if err != nil {
+			return nil, fmt.Errorf("%s re-solve failed: %w", algo.Name(), err)
+		}
+		ev = mi.EvaluateRouted(p2, algo.Routing(), seed)
+	default: // PolicyNone: serve whatever survived.
+		masked, _ := mask.MaskPlacement(placement)
+		ev = mask.Instance(evalIn).EvaluateRouted(masked, algo.Routing(), seed)
+	}
+
+	// Degraded: edge-served requests slower than the no-fault reference —
+	// the planned placement on the pristine substrate with the same homes.
+	if !mask.Pristine() {
+		ref := evalIn.EvaluateRouted(placement, algo.Routing(), seed)
+		for h := range ev.Latencies {
+			if ev.Routes[h].Nodes == nil || math.IsInf(ev.Latencies[h], 1) {
+				continue
+			}
+			if ev.Latencies[h] > ref.Latencies[h]+model.FeasTol {
+				rec.Degraded++
+			}
+		}
+	}
+	return ev, nil
 }
 
 // makeSlotRequests draws this slot's requests: per user a Poisson number of

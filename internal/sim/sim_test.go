@@ -38,8 +38,8 @@ func TestRunSoCLBasics(t *testing.T) {
 	totalReqs := 0
 	for _, rec := range res.Slots {
 		totalReqs += rec.Requests
-		if rec.Failed != 0 {
-			t.Fatalf("slot %d had %d failed requests", rec.Slot, rec.Failed)
+		if rec.Unserved() != 0 {
+			t.Fatalf("slot %d had %d missing + %d unroutable requests", rec.Slot, rec.Missing, rec.Unroutable)
 		}
 		if rec.Requests > 0 && rec.Cost <= 0 {
 			t.Fatalf("slot %d with requests has zero cost", rec.Slot)
@@ -69,8 +69,8 @@ func TestRunAllAlgorithms(t *testing.T) {
 			t.Fatalf("%s: %v", algo.Name(), err)
 		}
 		for _, rec := range res.Slots {
-			if rec.Requests > 0 && rec.Failed > 0 {
-				t.Fatalf("%s: failed requests", algo.Name())
+			if rec.Requests > 0 && rec.Unserved() > 0 {
+				t.Fatalf("%s: unserved requests", algo.Name())
 			}
 		}
 	}

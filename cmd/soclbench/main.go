@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig3 | fig4 | fig7 | fig8 | fig9 | fig10 | all | ext_budget | ext_lambda | ext_omega | ext_xi | ext_routing | ext_online | ext_decompose | ext_contention | ext_cloud | ext_cluster | ext_datasets | ext_combinebench | ext_faults | ext (all extensions)")
+		experiment = flag.String("experiment", "all", "fig2 | fig3 | fig4 | fig7 | fig8 | fig9 | fig10 | all | ext_budget | ext_lambda | ext_omega | ext_xi | ext_routing | ext_online | ext_decompose | ext_contention | ext_cloud | ext_cluster | ext_datasets | ext_combinebench | ext_faults | ext_serve | ext (all extensions)")
 		short      = flag.Bool("short", false, "reduced scales for a quick run")
 		seed       = flag.Int64("seed", 1, "root random seed")
 		out        = flag.String("out", "", "directory for CSV output (optional)")
@@ -111,6 +111,8 @@ func run(which string, opts experiments.Options, svgDir string) error {
 			add(experiments.ExtCombineBench(opts))
 		case "ext_faults":
 			add(experiments.ExtFaults(opts))
+		case "ext_serve":
+			add(experiments.ExtServe(opts))
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -126,7 +128,7 @@ func run(which string, opts experiments.Options, svgDir string) error {
 			}
 		}
 	case "ext":
-		for _, id := range []string{"ext_budget", "ext_lambda", "ext_omega", "ext_xi", "ext_routing", "ext_online", "ext_decompose", "ext_contention", "ext_cloud", "ext_cluster", "ext_datasets", "ext_combinebench", "ext_faults"} {
+		for _, id := range []string{"ext_budget", "ext_lambda", "ext_omega", "ext_xi", "ext_routing", "ext_online", "ext_decompose", "ext_contention", "ext_cloud", "ext_cluster", "ext_datasets", "ext_combinebench", "ext_faults", "ext_serve"} {
 			if err := runOne(id); err != nil {
 				return err
 			}

@@ -1,0 +1,448 @@
+// Command soclserved is the long-running placement daemon over the SoCL
+// stack (internal/serve): it owns a live substrate and placement and ingests
+// an event stream — request arrivals, departures, user moves, fault strikes
+// and heals — reacting incrementally through the delta evaluator and the
+// repair engine, and escalating to a full re-solve only past a configurable
+// degradation threshold.
+//
+// The daemon speaks the recorded event-script format (serve.WriteScript /
+// serve.ParseScript), so a batch simulation can be recorded once and served
+// many ways:
+//
+//	soclserved -record events.txt -nodes 12 -users 15 -slots 24 -fail-rate 0.15
+//	soclserved -script events.txt                  # serve mode (incremental)
+//	soclserved -script events.txt -replay -policy repair   # bitwise sim replay
+//	soclserved -script events.txt -idle-epochs 2 -warm-pool 1 -cold-start 0.25
+//	soclserved -selftest                           # record→replay→compare, CI smoke
+//
+// In replay mode the daemon re-plans every epoch exactly like the batch
+// simulator's slot loop and its evaluation stream is bitwise identical to
+// sim.Run over the same scenario (use -policy repair for scripts recorded
+// with faults, -policy none for fault-free ones). Serve mode solves once and
+// afterwards reacts incrementally; adding -idle-epochs enables the
+// serverless lifecycle (scale-to-zero, warm-pool sizing, cold-start
+// pricing).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/repair"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "record the scenario's event stream to this file ('-' = stdout) and exit")
+		script   = flag.String("script", "", "event script to serve ('-' = stdin)")
+		selftest = flag.Bool("selftest", false, "record a scenario, replay it through the daemon, and verify bitwise against the batch simulator (non-zero exit on mismatch)")
+
+		nodes    = flag.Int("nodes", 12, "edge nodes (record/selftest scenario)")
+		radius   = flag.Float64("radius", 0.4, "geometric topology radius")
+		users    = flag.Int("users", 15, "users issuing requests")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		slots    = flag.Int("slots", 24, "scenario length in slots")
+		slotmin  = flag.Float64("slotmin", 0, "slot length in minutes (0 = simulator default)")
+		failRate = flag.Float64("fail-rate", 0.15, "per-slot fault probability (0 = no fault schedule)")
+
+		policy    = flag.String("policy", "auto", "reaction policy: auto | none | repair | resolve")
+		threshold = flag.Float64("resolve-threshold", serve.DefaultResolveThreshold, "auto policy: post-repair unserved fraction past which to re-solve (negative disables escalation)")
+		replay    = flag.Bool("replay", false, "replay mode: re-plan every epoch like the batch simulator (bitwise-comparable)")
+		batch     = flag.Int("batch", 0, "max arrivals admitted per epoch, overflow deferred (0 = unlimited; serve mode only)")
+
+		idleEpochs  = flag.Int("idle-epochs", 0, "scale an instance to zero after this many idle epochs (0 disables the serverless lifecycle)")
+		warmPool    = flag.Int("warm-pool", 0, "minimum warm instances kept per service")
+		warmWindow  = flag.Int("warm-window", 0, "demand window, in epochs, for the warm-pool sizer (0 = default)")
+		reqsPerWarm = flag.Int("reqs-per-warm", 0, "demand a single warm instance absorbs, for the sizer (0 = default)")
+		coldStart   = flag.Float64("cold-start", 0, "cold-start latency added per chain step on a cold instance")
+
+		csvPath = flag.String("csv", "", "write per-epoch records as CSV to this file")
+		quiet   = flag.Bool("quiet", false, "suppress the per-epoch table, print only the summary")
+	)
+	flag.Parse()
+
+	if err := run(options{
+		record: *record, script: *script, selftest: *selftest,
+		nodes: *nodes, radius: *radius, users: *users, seed: *seed,
+		slots: *slots, slotmin: *slotmin, failRate: *failRate,
+		policy: *policy, threshold: *threshold, replay: *replay, batch: *batch,
+		lifecycle: serve.LifecycleConfig{
+			IdleEpochs:     *idleEpochs,
+			WarmPool:       *warmPool,
+			WarmWindow:     *warmWindow,
+			ReqsPerWarm:    *reqsPerWarm,
+			ColdStartDelay: *coldStart,
+		},
+		csvPath: *csvPath, quiet: *quiet,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "soclserved:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	record, script string
+	selftest       bool
+
+	nodes, users, slots int
+	radius, slotmin     float64
+	failRate            float64
+	seed                int64
+	policy              string
+	threshold           float64
+	replay              bool
+	batch               int
+	lifecycle           serve.LifecycleConfig
+	csvPath             string
+	quiet               bool
+}
+
+func run(o options) error {
+	switch {
+	case o.selftest:
+		return selfTest(o)
+	case o.record != "":
+		return recordScenario(o)
+	case o.script != "":
+		return serveScript(o)
+	default:
+		return fmt.Errorf("nothing to do: pass -record, -script, or -selftest (see -h)")
+	}
+}
+
+// scenario builds the batch-simulator configuration the record/selftest
+// modes share; its event stream is what the daemon serves.
+func scenario(o options) sim.Config {
+	g := topology.RandomGeometric(o.nodes, o.radius, topology.DefaultGenConfig(), o.seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), o.seed)
+	cfg := sim.DefaultConfig(g, cat, o.users, o.seed)
+	if o.slotmin > 0 {
+		cfg.SlotMinutes = o.slotmin
+	}
+	cfg.DurationMinutes = float64(o.slots) * cfg.SlotMinutes
+	if o.failRate > 0 {
+		scfg := chaos.DefaultScheduleConfig()
+		scfg.NodeFailProb = o.failRate
+		scfg.LinkFailProb = o.failRate
+		scfg.StorageShrinkProb = o.failRate / 2
+		scfg.MinNodesUp = o.nodes / 2
+		cfg.Faults = chaos.Generate(g, o.slots, scfg, o.seed)
+		cfg.Policy = sim.PolicyRepair
+	}
+	return cfg
+}
+
+// stream records the scenario's event stream and stamps the topology
+// provenance (radius and seeds) the daemon needs to rebuild the substrate
+// from the script alone.
+func stream(o options, cfg sim.Config) (*serve.Script, error) {
+	s, err := sim.EventStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Meta.Radius = o.radius
+	s.Meta.TopoSeed = o.seed
+	s.Meta.CatSeed = o.seed
+	return s, nil
+}
+
+func recordScenario(o options) error {
+	s, err := stream(o, scenario(o))
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if o.record != "-" {
+		f, err := os.Create(o.record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := serve.WriteScript(w, s); err != nil {
+		return err
+	}
+	if o.record != "-" {
+		fmt.Fprintf(os.Stderr, "recorded %d events over %d slots to %s\n",
+			len(s.Events), s.Meta.NumSlots, o.record)
+	}
+	return nil
+}
+
+// daemonConfig rebuilds the substrate from the script's meta line and wires
+// the daemon to the warm-started SoCL online solver: the planner is its
+// Place, and the repair seam is its Repair, so incremental rounds feed the
+// solver's warm state.
+func daemonConfig(o options, meta serve.Meta) (serve.Config, error) {
+	if meta.Nodes <= 0 || meta.Radius <= 0 {
+		return serve.Config{}, fmt.Errorf("script lacks topology provenance (nodes/radius in the meta line); record it with soclserved -record")
+	}
+	g := topology.RandomGeometric(meta.Nodes, meta.Radius, topology.DefaultGenConfig(), meta.TopoSeed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), meta.CatSeed)
+	algo := sim.NewSoCLOnline(core.DefaultConfig())
+	sc := serve.Config{
+		Graph:       g,
+		Catalog:     cat,
+		Lambda:      meta.Lambda,
+		Budget:      meta.Budget,
+		Mode:        model.RouteModeOptimal,
+		RouteSeed:   meta.RouteSeed,
+		Planner:     algo.Place,
+		PlannerName: algo.Name(),
+		Repair:      repair.DefaultConfig(),
+		Replan:      o.replay,
+	}
+	//socllint:ignore floateq deliberate exact zero: both unset means no cloud fallback
+	if meta.CloudTransfer != 0 || meta.CloudCompute != 0 {
+		sc.Cloud = &model.CloudConfig{TransferCost: meta.CloudTransfer, Compute: meta.CloudCompute}
+	}
+	rep := serve.RepairPolicy{Run: algo.RepairWith}
+	switch o.policy {
+	case "auto":
+		sc.Policy = serve.AutoPolicy{Threshold: o.threshold, Repair: rep}
+	case "none":
+		sc.Policy = serve.NonePolicy{}
+	case "repair":
+		sc.Policy = rep
+	case "resolve":
+		sc.Policy = serve.ResolvePolicy{}
+	default:
+		return serve.Config{}, fmt.Errorf("unknown policy %q (want auto | none | repair | resolve)", o.policy)
+	}
+	if !o.replay {
+		sc.MaxBatch = o.batch
+		sc.Lifecycle = o.lifecycle
+	} else if o.batch != 0 || o.lifecycle.Enabled() {
+		return serve.Config{}, fmt.Errorf("-replay is the batch simulator's discipline: it admits everything and keeps every instance (drop -batch and the lifecycle flags)")
+	}
+	return sc, nil
+}
+
+func serveScript(o options) error {
+	r := io.Reader(os.Stdin)
+	if o.script != "-" {
+		f, err := os.Open(o.script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	s, err := serve.ParseScript(r)
+	if err != nil {
+		return err
+	}
+	sc, err := daemonConfig(o, s.Meta)
+	if err != nil {
+		return err
+	}
+	d, err := serve.NewDaemon(sc)
+	if err != nil {
+		return err
+	}
+	rr, err := d.RunScript(s)
+	if rr != nil {
+		report(os.Stdout, rr, o.quiet)
+		if o.csvPath != "" {
+			if werr := writeCSV(o.csvPath, rr); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	}
+	return err
+}
+
+var epochHeader = []string{"epoch", "reqs", "avg_delay", "cost", "served_obj",
+	"missing", "unroutable", "degraded", "adds", "evicts", "resolved", "incr",
+	"cold", "scale0", "warm"}
+
+func epochRow(r *serve.EpochRecord) []string {
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	return []string{
+		strconv.Itoa(r.Epoch), strconv.Itoa(r.Requests),
+		fmt.Sprintf("%.3f", r.AvgDelay), fmt.Sprintf("%.1f", r.Cost),
+		fmt.Sprintf("%.1f", r.ServedObjective),
+		strconv.Itoa(r.Missing), strconv.Itoa(r.Unroutable), strconv.Itoa(r.Degraded),
+		strconv.Itoa(r.Adds), strconv.Itoa(r.Evicts), b(r.Resolved), b(r.Incremental),
+		strconv.Itoa(r.ColdSteps), strconv.Itoa(r.ScaledToZero), strconv.Itoa(r.WarmSpares),
+	}
+}
+
+func report(w io.Writer, rr *serve.RunResult, quiet bool) {
+	if !quiet {
+		fmt.Fprintln(w, tabJoin(epochHeader))
+		for i := range rr.Records {
+			fmt.Fprintln(w, tabJoin(epochRow(&rr.Records[i])))
+		}
+	}
+	reqs, unserved, resolves, incr, cold, scale0 := 0, 0, 0, 0, 0, 0
+	for _, r := range rr.Records {
+		reqs += r.Requests
+		unserved += r.Missing + r.Unroutable
+		if r.Resolved {
+			resolves++
+		}
+		if r.Incremental {
+			incr++
+		}
+		cold += r.ColdSteps
+		scale0 += r.ScaledToZero
+	}
+	fmt.Fprintf(w, "epochs=%d requests=%d unserved=%d resolves=%d incremental=%d cold_steps=%d scaled_to_zero=%d deployed=%d\n",
+		len(rr.Records), reqs, unserved, resolves, incr, cold, scale0, rr.Placement.Instances())
+}
+
+func tabJoin(cells []string) string {
+	var b bytes.Buffer
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%-10s", c)
+	}
+	return b.String()
+}
+
+func writeCSV(path string, rr *serve.RunResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(f, ",")
+			}
+			fmt.Fprint(f, c)
+		}
+		fmt.Fprintln(f)
+	}
+	row(epochHeader)
+	for i := range rr.Records {
+		row(epochRow(&rr.Records[i]))
+	}
+	return nil
+}
+
+// selfTest is the CI smoke: record the scenario, push the script through a
+// real file and the text parser, replay it through the daemon, and require
+// the evaluation stream to match the batch simulator bit for bit; then run
+// the incremental serve mode (with the serverless lifecycle) twice and
+// require the two runs to be identical.
+func selfTest(o options) error {
+	cfg := scenario(o)
+	res, err := sim.Run(cfg, sim.NewSoCLOnline(core.DefaultConfig()))
+	if err != nil {
+		return fmt.Errorf("selftest: batch run: %w", err)
+	}
+	s, err := stream(o, cfg)
+	if err != nil {
+		return fmt.Errorf("selftest: record: %w", err)
+	}
+
+	// Text-format round trip through a real file.
+	f, err := os.CreateTemp("", "soclserved-selftest-*.events")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	if err := serve.WriteScript(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	parsed, err := serve.ParseScript(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("selftest: reparse: %w", err)
+	}
+	var a, b bytes.Buffer
+	if err := serve.WriteScript(&a, s); err != nil {
+		return err
+	}
+	if err := serve.WriteScript(&b, parsed); err != nil {
+		return err
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		return fmt.Errorf("selftest: script round trip is not byte-identical")
+	}
+
+	// Replay: the daemon must reproduce the batch run bitwise.
+	d, err := serve.NewDaemon(sim.ReplayConfig(cfg, sim.NewSoCLOnline(core.DefaultConfig())))
+	if err != nil {
+		return err
+	}
+	rr, err := d.RunScript(parsed)
+	if err != nil {
+		return fmt.Errorf("selftest: replay: %w", err)
+	}
+	if err := sim.CompareReplay(res, rr); err != nil {
+		return fmt.Errorf("selftest: replay diverged from sim.Run: %w", err)
+	}
+
+	// Serve mode with the serverless lifecycle: two identically-configured
+	// runs must be identical (the daemon draws no hidden randomness).
+	serveOnce := func() (*serve.RunResult, error) {
+		sc := sim.ReplayConfig(cfg, sim.NewSoCLOnline(core.DefaultConfig()))
+		sc.Replan = false
+		sc.Policy = nil // default AutoPolicy
+		sc.Lifecycle = serve.LifecycleConfig{IdleEpochs: 2, WarmPool: 1, ColdStartDelay: 0.25}
+		d, err := serve.NewDaemon(sc)
+		if err != nil {
+			return nil, err
+		}
+		return d.RunScript(parsed)
+	}
+	r1, err := serveOnce()
+	if err != nil {
+		return fmt.Errorf("selftest: serve run 1: %w", err)
+	}
+	r2, err := serveOnce()
+	if err != nil {
+		return fmt.Errorf("selftest: serve run 2: %w", err)
+	}
+	if len(r1.Records) != len(r2.Records) {
+		return fmt.Errorf("selftest: serve runs differ in length: %d vs %d", len(r1.Records), len(r2.Records))
+	}
+	for i := range r1.Records {
+		x, y := r1.Records[i], r2.Records[i]
+		x.PlanTime, x.ReactTime = 0, 0 // wall-clock telemetry, legitimately noisy
+		y.PlanTime, y.ReactTime = 0, 0
+		if x != y {
+			return fmt.Errorf("selftest: serve runs diverge at epoch %d:\n  %+v\n  %+v", i, x, y)
+		}
+	}
+	if len(r1.AllDelays) != len(r2.AllDelays) {
+		return fmt.Errorf("selftest: serve delay streams differ in length")
+	}
+	for i := range r1.AllDelays {
+		//socllint:ignore floateq deliberate exact compare: the determinism contract is bitwise
+		if r1.AllDelays[i] != r2.AllDelays[i] {
+			return fmt.Errorf("selftest: serve delay streams diverge at %d", i)
+		}
+	}
+	fmt.Printf("selftest ok: %d slots, %d events, replay bitwise-identical to sim.Run, serve mode deterministic\n",
+		s.Meta.NumSlots, len(s.Events))
+	return nil
+}

@@ -45,6 +45,7 @@ var deterministicPkgs = map[string]bool{
 	"opt":      true,
 	"chaos":    true,
 	"repair":   true,
+	"serve":    true,
 }
 
 // mapRangePkgs are the packages where ranging over a map is additionally
@@ -54,11 +55,14 @@ var deterministicPkgs = map[string]bool{
 // stack (chaos, repair) makes the same promise — schedules replay bitwise
 // and repairs pin a bitwise differential against their naive reference — so
 // it lives under the same rule; both packages are slice-indexed throughout.
+// The serving daemon (serve) pins daemon-vs-simulator replay and
+// run-vs-rerun determinism bitwise, so it inherits the rule too.
 var mapRangePkgs = map[string]bool{
 	"ilp":    true,
 	"opt":    true,
 	"chaos":  true,
 	"repair": true,
+	"serve":  true,
 }
 
 // randConstructors are the math/rand package-level functions that build

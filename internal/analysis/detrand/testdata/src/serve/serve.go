@@ -1,0 +1,49 @@
+// Package serve (fixture) exercises the serving-daemon contract: the daemon
+// pins bitwise replay against the batch simulator and bitwise run-vs-rerun
+// determinism, so it carries both the base time/rand checks and the
+// solver-style map-iteration rule. Wall-clock telemetry (reaction timing
+// that is reported but never branched on) is the one sanctioned use, opted
+// out per line.
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+func epochSeedWrong() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic package serve"
+}
+
+func epochSeed(routeSeed int64, epoch int) int64 {
+	return routeSeed + int64(epoch) // ok: derived from the config
+}
+
+func jitterAdmission(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn in deterministic package serve"
+}
+
+func admitInOrder(queue []int, upTo int) []int {
+	var out []int
+	for _, id := range queue { // ok: slice iteration is admission order
+		if id <= upTo {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func reapIteration(idle map[int]int) []int {
+	var out []int
+	for k := range idle { // want "map iteration in solver package serve"
+		out = append(out, k)
+	}
+	return out
+}
+
+func reactionTelemetry() time.Duration {
+	//socllint:ignore detrand fixture: wall-clock reaction time is reported, never branched on
+	t0 := time.Now()
+	//socllint:ignore detrand fixture: wall-clock reaction time is reported, never branched on
+	return time.Since(t0)
+}

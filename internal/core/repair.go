@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/model"
+	"repro/internal/repair"
+)
+
+// Repair drives the incremental repair engine from the online solver, so
+// planned-ahead placements and fault repair compose instead of fighting: the
+// stale placement p is repaired against the accumulated fault mask, and the
+// repaired placement is adopted as the next Step's warm state. Without this,
+// the slot after a repair would warm-start from the pre-fault placement and
+// re-deploy instances the repair deliberately evicted.
+//
+// The repair itself is exactly repair.Run — the composition changes only what
+// the *next* Step retains, never the repaired placement (pinned by the
+// differential test against standalone repair).
+func (o *OnlineSolver) Repair(in *model.Instance, m *chaos.Mask, p model.Placement, cfg repair.Config) (*repair.Result, error) {
+	if in == nil || m == nil {
+		return nil, fmt.Errorf("core: Repair needs an instance and a mask")
+	}
+	res := repair.Run(in, m, p, cfg)
+	o.prev = res.Placement.Clone()
+	o.hasPrev = true
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/model"
+	"repro/internal/repair"
+)
+
+// TestOnlineRepairMatchesStandalone is the differential test for the
+// composed path: OnlineSolver.Repair must produce the exact placement and
+// evaluation standalone repair.Run produces on the same instance, mask, and
+// stale placement — the composition may only change what the next Step
+// warm-starts from, never the repair itself.
+func TestOnlineRepairMatchesStandalone(t *testing.T) {
+	in := makeInstance(10, 12, 61, 8000)
+	o := NewOnlineSolver(DefaultConfig())
+	sol, _, err := o.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := sol.Placement
+
+	mask := chaos.NewMask(in.Graph)
+	crashed := -1
+	for k := 0; k < in.V() && crashed < 0; k++ {
+		for i := 0; i < in.M(); i++ {
+			if planned.Has(i, k) {
+				crashed = k
+				break
+			}
+		}
+	}
+	if crashed < 0 {
+		t.Fatal("no deployed node to crash")
+	}
+	if err := mask.Apply(chaos.Event{Kind: chaos.NodeCrash, Node: crashed}); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := repair.Config{Mode: model.RouteModeOptimal}
+	want := repair.Run(in, mask, planned.Clone(), rcfg)
+	got, err := o.Repair(in, mask, planned.Clone(), rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < in.M(); i++ {
+		for k := 0; k < in.V(); k++ {
+			if got.Placement.Has(i, k) != want.Placement.Has(i, k) {
+				t.Fatalf("composed repair diverges from standalone at (%d,%d)", i, k)
+			}
+		}
+	}
+	if math.Float64bits(got.After.Objective) != math.Float64bits(want.After.Objective) ||
+		got.After.Unserved() != want.After.Unserved() ||
+		len(got.Added) != len(want.Added) || len(got.Evicted) != len(want.Evicted) {
+		t.Fatalf("composed repair evaluation diverges: %+v vs %+v", got.After, want.After)
+	}
+
+	// The adoption half of the contract: the next Step warm-starts from the
+	// repaired placement, not the pre-fault one.
+	for i := 0; i < in.M(); i++ {
+		for k := 0; k < in.V(); k++ {
+			if o.prev.Has(i, k) != got.Placement.Has(i, k) {
+				t.Fatalf("warm state not adopted from the repair at (%d,%d)", i, k)
+			}
+		}
+	}
+	if !o.hasPrev {
+		t.Fatal("repair left the solver cold")
+	}
+
+	// And Repair without a prior Step still works (the daemon may repair
+	// before its solver ever planned).
+	o2 := NewOnlineSolver(DefaultConfig())
+	if _, err := o2.Repair(in, mask, planned.Clone(), rcfg); err != nil {
+		t.Fatal(err)
+	}
+	if !o2.hasPrev {
+		t.Fatal("repair on a cold solver did not seed the warm state")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/msvc"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -152,4 +153,14 @@ func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func sec(d time.Duration) string {
 	return fmt.Sprintf("%.4f", d.Seconds())
+}
+
+// partialSlots reports how many slots of a (possibly partial) run completed,
+// for mid-run failure diagnostics; sim.Run returns the partial result
+// alongside its error.
+func partialSlots(r *sim.Result) int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Slots)
 }

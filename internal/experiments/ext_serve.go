@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/msvc"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ExtServe compares the batch simulator with the serving daemon on the same
+// recorded event stream (internal/serve), across the daemon's operating
+// modes:
+//
+//	sim-batch     — sim.Run, the reference the daemon replays;
+//	daemon-replay — replay mode (re-plan every epoch); the check column
+//	                reports the bitwise comparison against sim-batch;
+//	daemon-serve  — serve mode: one initial solve, then incremental repair
+//	                per changed epoch (AutoPolicy), steady epochs on the
+//	                delta evaluator;
+//	daemon-slsv   — serve mode plus the serverless lifecycle: idle
+//	                instances scale to zero, a warm pool holds the floor,
+//	                and cold starts price into completion time.
+//
+// Columns: resolves counts full re-solves, incr counts delta-evaluator
+// epochs, cold_steps counts chain steps that paid the cold-start penalty,
+// scale0 counts instances reclaimed to zero, react_s totals reaction time
+// (planning + repair + re-solve).
+func ExtServe(opts Options) *Table {
+	nodes, users, duration := 12, 15, 120.0
+	if opts.Short {
+		nodes, users, duration = 8, 8, 30
+	}
+	g := topology.RandomGeometric(nodes, 0.4, topology.DefaultGenConfig(), opts.Seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), opts.Seed)
+	cfg := sim.DefaultConfig(g, cat, users, opts.Seed)
+	cfg.DurationMinutes = duration
+	numSlots := int(duration / cfg.SlotMinutes)
+	scfg := chaos.DefaultScheduleConfig()
+	scfg.NodeFailProb = 0.15
+	scfg.MinNodesUp = nodes / 2
+	cfg.Faults = chaos.Generate(g, numSlots, scfg, opts.Seed)
+	cfg.Policy = sim.PolicyRepair
+
+	t := &Table{
+		ID:    "ext_serve",
+		Title: "Serving daemon vs batch simulator on one recorded event stream",
+		Header: []string{"mode", "epochs", "requests", "unserved", "degraded",
+			"resolves", "adds", "evicts", "incr", "cold_steps", "scale0",
+			"obj_sum", "react_s", "check"},
+	}
+
+	batch, err := sim.Run(cfg, sim.NewSoCLOnline(core.DefaultConfig()))
+	if batch == nil {
+		t.AddRow("sim-batch", "0", "0", "0", "0", "0", "0", "0", "0", "0", "0",
+			"0.0", "0.000", err.Error())
+		return t
+	}
+	adds, evicts, reactS := 0, 0, 0.0
+	for _, s := range batch.Slots {
+		adds += s.RepairAdds
+		evicts += s.RepairEvict
+		reactS += (s.PlaceTime + s.RepairTime).Seconds()
+	}
+	check := ""
+	if err != nil {
+		check = err.Error()
+	}
+	t.AddRow("sim-batch", itoa(len(batch.Slots)), itoa(batch.TotalRequests()),
+		itoa(batch.TotalUnserved()), itoa(batch.TotalDegraded()), "0",
+		itoa(adds), itoa(evicts), "0", "0", "0",
+		f1(sumObjectives(batch)), f3(reactS), check)
+
+	script, err := sim.EventStream(cfg)
+	if err != nil {
+		t.AddRow("daemon-replay", "0", "0", "0", "0", "0", "0", "0", "0", "0", "0",
+			"0.0", "0.000", err.Error())
+		return t
+	}
+
+	daemonRow := func(mode string, sc serve.Config, verify bool) {
+		d, err := serve.NewDaemon(sc)
+		if err != nil {
+			t.AddRow(mode, "0", "0", "0", "0", "0", "0", "0", "0", "0", "0",
+				"0.0", "0.000", err.Error())
+			return
+		}
+		rr, err := d.RunScript(script)
+		check := ""
+		if err != nil {
+			check = err.Error()
+		} else if verify {
+			if cmpErr := sim.CompareReplay(batch, rr); cmpErr != nil {
+				check = fmt.Sprintf("MISMATCH: %v", cmpErr)
+			} else {
+				check = "bitwise=ok"
+			}
+		}
+		reqs, unserved, degraded, resolves, adds, evicts, incr := 0, 0, 0, 0, 0, 0, 0
+		cold, scale0, objSum, reactS := 0, 0, 0.0, 0.0
+		for _, r := range rr.Records {
+			reqs += r.Requests
+			unserved += r.Missing + r.Unroutable
+			degraded += r.Degraded
+			if r.Resolved {
+				resolves++
+			}
+			adds += r.Adds
+			evicts += r.Evicts
+			if r.Incremental {
+				incr++
+			}
+			cold += r.ColdSteps
+			scale0 += r.ScaledToZero
+			objSum += r.ServedObjective
+			reactS += (r.PlanTime + r.ReactTime).Seconds()
+		}
+		t.AddRow(mode, itoa(len(rr.Records)), itoa(reqs), itoa(unserved),
+			itoa(degraded), itoa(resolves), itoa(adds), itoa(evicts), itoa(incr),
+			itoa(cold), itoa(scale0), f1(objSum), f3(reactS), check)
+	}
+
+	daemonRow("daemon-replay", sim.ReplayConfig(cfg, sim.NewSoCLOnline(core.DefaultConfig())), true)
+
+	sc := sim.ReplayConfig(cfg, sim.NewSoCLOnline(core.DefaultConfig()))
+	sc.Replan = false
+	sc.Policy = nil // default AutoPolicy: repair first, escalate past the threshold
+	daemonRow("daemon-serve", sc, false)
+
+	sc = sim.ReplayConfig(cfg, sim.NewSoCLOnline(core.DefaultConfig()))
+	sc.Replan = false
+	sc.Policy = nil
+	sc.Lifecycle = serve.LifecycleConfig{IdleEpochs: 2, WarmPool: 1, ColdStartDelay: 0.25}
+	daemonRow("daemon-slsv", sc, false)
+
+	return t
+}

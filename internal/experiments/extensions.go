@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/baselines"
@@ -234,7 +235,7 @@ func ExtOnline(opts Options) *Table {
 	cfg.DurationMinutes = duration
 	oneShot, err := sim.Run(cfg, sim.SoCL{Config: core.DefaultConfig()})
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ext_online one-shot: %v (completed %d slots)", err, partialSlots(oneShot)))
 	}
 	objSum := 0.0
 	for _, s := range oneShot.Slots {
@@ -250,7 +251,7 @@ func ExtOnline(opts Options) *Table {
 	onlineAlgo := sim.NewSoCLOnline(core.DefaultConfig())
 	online, err := sim.Run(cfg2, onlineAlgo)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ext_online warm: %v (completed %d slots)", err, partialSlots(online)))
 	}
 	objSum2 := 0.0
 	for _, s := range online.Slots {
@@ -267,8 +268,8 @@ func replayChurn(g *topology.Graph, cat *msvc.Catalog, users int, duration float
 	adapter := &churnAdapter{solver: core.NewOnlineSolver(core.DefaultConfig()), cold: cold}
 	cfg := sim.DefaultConfig(g, cat, users, seed)
 	cfg.DurationMinutes = duration
-	if _, err := sim.Run(cfg, adapter); err != nil {
-		panic(err)
+	if res, err := sim.Run(cfg, adapter); err != nil {
+		panic(fmt.Sprintf("replayChurn: %v (completed %d slots)", err, partialSlots(res)))
 	}
 	return adapter.churn
 }

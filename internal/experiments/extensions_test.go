@@ -233,3 +233,34 @@ func TestExtFaultsShort(t *testing.T) {
 		t.Fatalf("repair violation rate %v exceeds no-repair %v", viol["repair"], viol["none"])
 	}
 }
+
+func TestExtServeShort(t *testing.T) {
+	tb := ExtServe(shortOpts())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	reqs := map[string]float64{}
+	for i := range tb.Rows {
+		mode := cell(tb, i, "mode")
+		reqs[mode] = cellF(t, tb, i, "requests")
+		switch mode {
+		case "daemon-replay":
+			// The replay row carries the bitwise verdict against sim-batch.
+			if got := cell(tb, i, "check"); got != "bitwise=ok" {
+				t.Fatalf("replay check = %q", got)
+			}
+		case "sim-batch", "daemon-serve", "daemon-slsv":
+			if got := cell(tb, i, "check"); got != "" {
+				t.Fatalf("%s check = %q", mode, got)
+			}
+		default:
+			t.Fatalf("unexpected mode %q", mode)
+		}
+	}
+	// Every mode consumes the same recorded request stream.
+	for mode, r := range reqs {
+		if r != reqs["sim-batch"] {
+			t.Fatalf("request streams diverge: %s saw %v, sim-batch %v", mode, r, reqs["sim-batch"])
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/msvc"
 	"repro/internal/sim"
@@ -42,7 +44,7 @@ func Fig9(opts Options) *Table {
 			cfg.DurationMinutes = float64(slots) * cfg.SlotMinutes
 			res, err := sim.Run(cfg, algo)
 			if err != nil {
-				panic(err)
+				panic(fmt.Sprintf("fig9 %s: %v (completed %d slots)", algo.Name(), err, partialSlots(res)))
 			}
 			objSum, costSum := 0.0, 0.0
 			for _, s := range res.Slots {
@@ -102,7 +104,7 @@ func Fig10(opts Options) (*Table, *Table) {
 		cfg.DurationMinutes = duration
 		res, err := sim.Run(cfg, algos[i])
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("fig10 %s: %v (completed %d slots)", algos[i].Name(), err, partialSlots(res)))
 		}
 		var pt fig10Point
 		for _, s := range res.Slots {

@@ -100,7 +100,6 @@ func (in *Instance) EvaluateWithContention(p Placement, mode RoutingMode, seed i
 		return base * worst
 	}
 	rep.LatencySumContended = 0
-	cat := in.Workload.Catalog
 	for h := range in.Workload.Requests {
 		req := &in.Workload.Requests[h]
 		route := ev.Routes[h]
@@ -110,7 +109,7 @@ func (in *Instance) EvaluateWithContention(p Placement, mode RoutingMode, seed i
 		}
 		d := slow(req.Home, route.Nodes[0], req.DataIn)
 		for t, k := range route.Nodes {
-			d += cat.Service(req.Chain[t]).Compute / g.Node(k).Compute
+			d += in.stepTime(req.Chain[t], k)
 			if t > 0 {
 				d += slow(route.Nodes[t-1], k, req.EdgeData[t-1])
 			}

@@ -110,7 +110,9 @@ type DeltaEvaluator struct {
 	mode RoutingMode
 	seed int64
 
-	epoch     uint64       // expected index epoch; any drift fails loudly
+	epoch     uint64 // expected index epoch; any drift fails loudly
+	cold      *ColdStartModel
+	coldEpoch uint64       // expected cold-set epoch (cold != nil only)
 	evalGen   uint64       // bumped per refresh; stamps recomputed entries
 	routes    []deltaRoute // per-request cache
 	chainReqs [][]int      // service → requests whose chain contains it
@@ -153,6 +155,10 @@ func NewDeltaEvaluator(in *Instance, p Placement, mode RoutingMode, seed int64) 
 		scratch: &RouteScratch{},
 	}
 	d.epoch = d.ix.Epoch()
+	d.cold = in.ColdStart
+	if d.cold != nil {
+		d.coldEpoch = d.cold.Epoch()
+	}
 	d.routes = make([]deltaRoute, len(in.Workload.Requests))
 	d.chainGen = make([]uint64, len(in.Workload.Requests))
 	d.chainReqs = make([][]int, in.M())
@@ -188,6 +194,15 @@ func (d *DeltaEvaluator) Placement() Placement { return d.ix.Placement() }
 func (d *DeltaEvaluator) checkEpoch(op string) {
 	if e := d.ix.Epoch(); e != d.epoch {
 		panic(fmt.Sprintf("model: DeltaEvaluator %s on stale binding: index epoch %d, evaluator expected %d (placement mutated outside Apply/Revert/AdvanceTo)", op, e, d.epoch))
+	}
+	// Cached latencies embed the cold-start term, so a cold-set change (or a
+	// ColdStart swap on the instance) silently stales every entry; fail as
+	// loudly as an index drift. Rebind re-captures both.
+	if d.in.ColdStart != d.cold {
+		panic(fmt.Sprintf("model: DeltaEvaluator %s after Instance.ColdStart was swapped; Rebind to adopt the new model", op))
+	}
+	if d.cold != nil && d.cold.Epoch() != d.coldEpoch {
+		panic(fmt.Sprintf("model: DeltaEvaluator %s on stale cold-start binding: cold epoch %d, evaluator expected %d (cold set mutated since bind; Rebind required)", op, d.cold.Epoch(), d.coldEpoch))
 	}
 }
 
@@ -310,6 +325,10 @@ func (d *DeltaEvaluator) AdvanceTo(p Placement) int {
 func (d *DeltaEvaluator) Rebind(p Placement) {
 	d.ix.Rebind(p)
 	d.epoch = d.ix.Epoch()
+	d.cold = d.in.ColdStart
+	if d.cold != nil {
+		d.coldEpoch = d.cold.Epoch()
+	}
 	for h := range d.routes {
 		d.routes[h] = deltaRoute{}
 		d.chainGen[h]++

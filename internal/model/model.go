@@ -39,6 +39,12 @@ type Instance struct {
 	// IV-C). When nil, such requests count as MissingInstances with +Inf
 	// latency.
 	Cloud *CloudConfig
+
+	// ColdStart, when non-nil, charges the serverless cold-start penalty on
+	// chain steps that execute on instances the model marks cold (see
+	// ColdStartModel). Nil — the default — preserves the legacy
+	// completion-time model bitwise. The cloud fallback is always warm.
+	ColdStart *ColdStartModel
 }
 
 // Validate checks instance invariants.
@@ -210,13 +216,12 @@ func (in *Instance) CompletionTime(req *msvc.Request, a Assignment) (float64, er
 		return 0, fmt.Errorf("model: assignment length %d != chain length %d", len(a.Nodes), len(req.Chain))
 	}
 	g := in.Graph
-	cat := in.Workload.Catalog
 	d := g.TransferTime(req.Home, a.Nodes[0], req.DataIn) // d_in (0 if same node)
 	for t, k := range a.Nodes {
 		if k < 0 || k >= g.N() {
 			return 0, fmt.Errorf("model: assignment node %d out of range", k)
 		}
-		d += cat.Service(req.Chain[t]).Compute / g.Node(k).Compute // d_c
+		d += in.stepTime(req.Chain[t], k) // d_c (+ cold start, if modeled)
 		if t > 0 {
 			d += g.TransferTime(a.Nodes[t-1], k, req.EdgeData[t-1]) // d_l
 		}
@@ -251,7 +256,6 @@ func (in *Instance) RouteOptimalIndexed(req *msvc.Request, ix *PlacementIndex, s
 //socllint:sentinel ErrNoInstance
 func (in *Instance) routeOptimal(req *msvc.Request, cand nodeLister, sc *RouteScratch) (Assignment, float64, error) {
 	g := in.Graph
-	cat := in.Workload.Catalog
 	L := len(req.Chain)
 
 	// Candidate layers.
@@ -279,7 +283,7 @@ func (in *Instance) routeOptimal(req *msvc.Request, cand nodeLister, sc *RouteSc
 	}
 	for j, k := range layers[0] {
 		cost[j] = g.TransferTime(req.Home, k, req.DataIn) +
-			cat.Service(req.Chain[0]).Compute/g.Node(k).Compute
+			in.stepTime(req.Chain[0], k)
 	}
 	for t := 1; t < L; t++ {
 		var next []float64
@@ -300,7 +304,7 @@ func (in *Instance) routeOptimal(req *msvc.Request, cand nodeLister, sc *RouteSc
 					best, bestArg = c, pj
 				}
 			}
-			next[j] = best + cat.Service(req.Chain[t]).Compute/g.Node(k).Compute
+			next[j] = best + in.stepTime(req.Chain[t], k)
 			backT[j] = bestArg
 		}
 		if sc != nil {
@@ -351,7 +355,6 @@ func (in *Instance) routeOptimal(req *msvc.Request, cand nodeLister, sc *RouteSc
 //socllint:sentinel ErrNoInstance
 func (in *Instance) routeOptimalLat(req *msvc.Request, cand nodeLister, sc *RouteScratch) (float64, error) {
 	g := in.Graph
-	cat := in.Workload.Catalog
 	L := len(req.Chain)
 
 	layers := sc.layerBuf(L)
@@ -365,7 +368,7 @@ func (in *Instance) routeOptimalLat(req *msvc.Request, cand nodeLister, sc *Rout
 	cost := sc.floats(&sc.cost, len(layers[0]))
 	for j, k := range layers[0] {
 		cost[j] = g.TransferTime(req.Home, k, req.DataIn) +
-			cat.Service(req.Chain[0]).Compute/g.Node(k).Compute
+			in.stepTime(req.Chain[0], k)
 	}
 	for t := 1; t < L; t++ {
 		next := sc.floats(&sc.next, len(layers[t]))
@@ -376,7 +379,7 @@ func (in *Instance) routeOptimalLat(req *msvc.Request, cand nodeLister, sc *Rout
 					best = c
 				}
 			}
-			next[j] = best + cat.Service(req.Chain[t]).Compute/g.Node(k).Compute
+			next[j] = best + in.stepTime(req.Chain[t], k)
 		}
 		sc.cost, sc.next = sc.next, sc.cost
 		cost = next
@@ -696,7 +699,7 @@ func (in *Instance) StarCoef(req *msvc.Request, step, k int) float64 {
 		data = req.EdgeData[step-1]
 	}
 	c := g.TransferTime(req.Home, k, data)
-	c += in.Workload.Catalog.Service(req.Chain[step]).Compute / g.Node(k).Compute
+	c += in.stepTime(req.Chain[step], k)
 	if step == len(req.Chain)-1 {
 		c += req.DataOut * g.HopPathCost(k, req.Home)
 	}

@@ -1,0 +1,583 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/invariant"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/repair"
+	"repro/internal/topology"
+)
+
+// DefaultResolveThreshold is the post-repair unserved fraction past which the
+// default AutoPolicy escalates to a full re-solve.
+const DefaultResolveThreshold = 0.25
+
+// Config wires a Daemon to a substrate, a planner, and a reaction policy.
+type Config struct {
+	Graph   *topology.Graph
+	Catalog *msvc.Catalog
+	Lambda  float64 // Eq. 3 cost/latency trade-off
+	Budget  float64 // Eq. 6 deployment budget
+	Cloud   *model.CloudConfig
+
+	Mode model.RoutingMode
+	// RouteSeed seeds request routing; epoch e routes with RouteSeed+e, the
+	// simulator's per-slot discipline.
+	RouteSeed int64
+
+	// Planner produces a full placement from scratch (the initial solve, the
+	// replay-mode per-epoch plan, and AutoPolicy escalation). PlannerName
+	// labels it in errors.
+	Planner     func(*model.Instance) (model.Placement, error)
+	PlannerName string
+
+	// Repair tunes the incremental engine (Mode/Seed are overridden per
+	// epoch).
+	Repair repair.Config
+
+	// Policy reacts each epoch the placement is stale. Nil installs
+	// AutoPolicy{Threshold: ResolveThreshold}.
+	Policy Policy
+	// ResolveThreshold configures the default AutoPolicy; 0 means
+	// DefaultResolveThreshold (build an AutoPolicy explicitly for a true
+	// zero threshold).
+	ResolveThreshold float64
+
+	// Replan switches the daemon into replay mode: every non-empty epoch
+	// re-plans from scratch on the pre-strike substrate, exactly like the
+	// batch simulator's slot loop. This is the mode the bitwise
+	// daemon-vs-sim.Run equivalence holds in. Serve mode (false) solves once
+	// and afterwards reacts incrementally.
+	Replan bool
+
+	// MaxBatch caps admitted arrivals per epoch; the overflow is deferred to
+	// the next epoch in admission order. 0 admits everything (required in
+	// replay mode).
+	MaxBatch int
+
+	// Lifecycle enables the serverless instance lifecycle (serve mode only).
+	Lifecycle LifecycleConfig
+}
+
+// EpochRecord is the measurement of one daemon epoch. The evaluation columns
+// (Requests through Degraded) are computed exactly like the simulator's
+// SlotRecord so replay comparisons can be bitwise.
+type EpochRecord struct {
+	Epoch    int
+	Requests int
+
+	// Admission telemetry.
+	Arrived, Departed, Moved int
+	// Deferred counts arrivals pushed to the next epoch by MaxBatch.
+	Deferred int
+
+	// Fault telemetry.
+	FaultEvents int
+	DownNodes   int
+	// Rehomed counts *requests* moved off down nodes (the simulator's column
+	// counts users — excluded from bitwise comparison).
+	Rehomed int
+
+	AvgDelay        float64
+	MaxDelay        float64
+	Cost            float64
+	Objective       float64
+	ServedObjective float64
+	Missing         int
+	Unroutable      int
+	CloudServed     int
+	Degraded        int
+
+	// Reaction telemetry.
+	PlanTime   time.Duration // replay-mode planner time
+	ReactTime  time.Duration // policy reaction time (repair and/or re-solve)
+	Adds       int           // instances repair re-provisioned
+	Evicts     int           // instances repair evicted
+	RolledBack int           // repair candidates scored and reverted
+	Resolved   bool          // a full re-solve produced this epoch's placement
+	// Incremental marks epochs served by the delta evaluator alone — nothing
+	// changed, so no policy ran.
+	Incremental bool
+
+	// Serverless lifecycle telemetry.
+	ColdSteps    int // chain steps that paid the cold-start penalty
+	ScaledToZero int // idle instances reclaimed at epoch end
+	WarmSpares   int // idle instances kept by the warm-pool sizer
+}
+
+// RunResult aggregates a daemon run.
+type RunResult struct {
+	Records []EpochRecord
+	// AllDelays collects every finite per-request latency in epoch order —
+	// the simulator's AllDelays.
+	AllDelays []float64
+	// Final is the last non-empty epoch's evaluation, nil if none.
+	Final *model.Evaluation
+	// Placement is the daemon's live placement after the run.
+	Placement model.Placement
+}
+
+// Daemon owns a live substrate and placement and ingests an event stream —
+// request arrivals and departures, user moves, fault strikes and heals —
+// reacting through the same Policy layer the simulator's fault branches use.
+// Steady epochs are served by a bound DeltaEvaluator; a policy runs only when
+// the admitted work or the substrate actually changed.
+type Daemon struct {
+	cfg    Config
+	policy Policy
+
+	mask   *chaos.Mask
+	queue  []Event
+	faults []Event // this epoch's strikes, staged by admit
+
+	// active is the admitted workload in arrival order. Order is load-bearing:
+	// RouteModeRandom derives each request's stream from its index.
+	active  []msvc.Request
+	workGen int // bumped on any active-set change
+
+	placement     model.Placement
+	havePlacement bool
+	lastDegraded  int
+
+	// Incremental-path binding and its validity stamps.
+	de          *model.DeltaEvaluator
+	deGraph     *topology.Graph
+	deWorkGen   int
+	deColdEpoch uint64
+	deSeed      int64
+
+	// Serverless lifecycle state.
+	cold *model.ColdStartModel
+	life *lifecycle
+
+	slot      int
+	records   []EpochRecord
+	allDelays []float64
+	lastEval  *model.Evaluation
+}
+
+// NewDaemon validates cfg and builds an idle daemon with a pristine mask.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	if cfg.Graph == nil || cfg.Catalog == nil {
+		return nil, fmt.Errorf("serve: nil graph or catalog")
+	}
+	if cfg.Planner == nil {
+		return nil, fmt.Errorf("serve: nil planner")
+	}
+	if cfg.PlannerName == "" {
+		cfg.PlannerName = "planner"
+	}
+	if cfg.Replan && cfg.MaxBatch > 0 {
+		return nil, fmt.Errorf("serve: replay mode cannot batch admissions (MaxBatch=%d)", cfg.MaxBatch)
+	}
+	if cfg.Replan && cfg.Lifecycle.Enabled() {
+		return nil, fmt.Errorf("serve: replay mode cannot run the instance lifecycle")
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		mask:      chaos.NewMask(cfg.Graph),
+		placement: model.NewPlacement(cfg.Catalog.Len(), cfg.Graph.N()),
+	}
+	d.policy = cfg.Policy
+	if d.policy == nil {
+		thr := cfg.ResolveThreshold
+		//socllint:ignore floateq deliberate exact zero: the unset-field sentinel
+		if thr == 0 {
+			thr = DefaultResolveThreshold
+		}
+		d.policy = AutoPolicy{Threshold: thr}
+	}
+	if cfg.Lifecycle.Enabled() {
+		d.life = newLifecycle(cfg.Lifecycle, cfg.Catalog.Len(), cfg.Graph.N())
+	}
+	if cfg.Lifecycle.ColdStartDelay > 0 {
+		d.cold = model.NewColdStartModel(cfg.Catalog.Len(), cfg.Graph.N(), cfg.Lifecycle.ColdStartDelay)
+	}
+	return d, nil
+}
+
+// Ingest queues events for admission; an event with Slot <= the current epoch
+// is admitted by the next Tick. Order within a slot is preserved.
+func (d *Daemon) Ingest(evs ...Event) { d.queue = append(d.queue, evs...) }
+
+// Epoch returns the next epoch Tick will serve.
+func (d *Daemon) Epoch() int { return d.slot }
+
+// Placement returns the daemon's live placement (not a copy).
+func (d *Daemon) Placement() model.Placement { return d.placement }
+
+// Mask returns the daemon's accumulated fault state.
+func (d *Daemon) Mask() *chaos.Mask { return d.mask }
+
+// ActiveRequests returns the number of admitted, undeparted requests.
+func (d *Daemon) ActiveRequests() int { return len(d.active) }
+
+// Result snapshots the run so far.
+func (d *Daemon) Result() *RunResult {
+	return &RunResult{
+		Records:   d.records,
+		AllDelays: d.allDelays,
+		Final:     d.lastEval,
+		Placement: d.placement,
+	}
+}
+
+// Run ticks the daemon through numEpochs epochs, returning the partial result
+// alongside any mid-run error.
+func (d *Daemon) Run(numEpochs int) (*RunResult, error) {
+	for i := 0; i < numEpochs; i++ {
+		if _, err := d.Tick(); err != nil {
+			return d.Result(), err
+		}
+	}
+	return d.Result(), nil
+}
+
+// RunScript ingests every event of a script and runs the daemon over the
+// script's horizon (at least far enough to admit every event).
+func (d *Daemon) RunScript(s *Script) (*RunResult, error) {
+	epochs := s.Meta.NumSlots
+	for _, ev := range s.Events {
+		d.Ingest(ev)
+		if ev.Slot+1 > epochs {
+			epochs = ev.Slot + 1
+		}
+	}
+	return d.Run(epochs - d.slot)
+}
+
+// Tick serves one epoch: admit queued events, react if anything changed,
+// evaluate, and advance the serverless lifecycle.
+//
+// The epoch order is load-bearing for replay equivalence with the batch
+// simulator's slot loop: admission (pre-strike homes), replay-mode planning
+// on the pre-strike substrate, fault strikes, request re-homing, then the
+// policy — the exact order sim.Run performs per slot.
+func (d *Daemon) Tick() (*EpochRecord, error) {
+	// Epoch boundary: instances that survived to the boundary are warm;
+	// anything deployed mid-epoch (repair adds, re-solve placements) stays
+	// cold until the next boundary.
+	if d.cold != nil {
+		d.cold.SyncWarm(d.placement)
+	}
+
+	rec := EpochRecord{Epoch: d.slot}
+	workChanged := d.admit(&rec)
+
+	// Replay mode plans on the substrate as currently known — this epoch's
+	// faults have not struck yet (the simulator's discipline).
+	if d.cfg.Replan && len(d.active) > 0 {
+		planIn := d.instanceOn(d.mask.Graph())
+		//socllint:ignore detrand wall-clock plan time is reported, never branched on
+		t0 := time.Now()
+		p, err := d.cfg.Planner(planIn)
+		//socllint:ignore detrand wall-clock plan time is reported, never branched on
+		rec.PlanTime = time.Since(t0)
+		if err != nil {
+			d.finish(&rec)
+			return &rec, fmt.Errorf("serve: %s failed at epoch %d: %w", d.cfg.PlannerName, d.slot, err)
+		}
+		d.placement = p
+		d.havePlacement = true
+	}
+
+	// Fault strikes land after planning.
+	maskChanged := false
+	for _, ev := range d.faults {
+		pre := d.mask.Epoch()
+		if err := d.mask.Apply(ev.Fault); err != nil {
+			d.finish(&rec)
+			return &rec, fmt.Errorf("serve: epoch %d: fault replay: %w", d.slot, err)
+		}
+		rec.FaultEvents++
+		if d.mask.Epoch() != pre {
+			maskChanged = true
+		}
+	}
+	d.faults = d.faults[:0]
+	rec.DownNodes = len(d.mask.DownNodes())
+
+	// An empty epoch advances the fault timeline and the lifecycle only —
+	// like the simulator's empty slot, no re-homing happens.
+	if len(d.active) == 0 {
+		d.lastEval = nil
+		d.lifecycleEnd(&rec, nil)
+		d.finish(&rec)
+		return &rec, nil
+	}
+	rec.Requests = len(d.active)
+
+	if !d.mask.Pristine() {
+		rec.Rehomed = RehomeRequests(d.mask, d.cfg.Graph, d.active)
+		if rec.Rehomed > 0 {
+			// Homes mutated in place: any bound evaluator is stale.
+			workChanged = true
+			d.workGen++
+		}
+	}
+
+	evalIn := d.instanceOn(d.cfg.Graph)
+	seed := d.cfg.RouteSeed + int64(d.slot)
+	planned := d.placement
+
+	if d.cfg.Replan || workChanged || maskChanged || !d.havePlacement {
+		pol := d.policy
+		if !d.havePlacement {
+			// Initial solve: nothing to repair yet.
+			pol = ResolvePolicy{}
+		}
+		ctx := &EpochContext{
+			In:          evalIn,
+			Mask:        d.mask,
+			Planned:     planned,
+			Mode:        d.cfg.Mode,
+			Seed:        seed,
+			Repair:      d.cfg.Repair,
+			Resolve:     d.cfg.Planner,
+			PlannerName: d.cfg.PlannerName,
+		}
+		out, err := pol.Serve(ctx)
+		if err != nil {
+			d.finish(&rec)
+			return &rec, fmt.Errorf("serve: epoch %d: %w", d.slot, err)
+		}
+		d.placement = out.Placement
+		d.havePlacement = true
+		d.lastEval = out.Eval
+		rec.ReactTime = out.ReactTime
+		rec.Adds = len(out.Added)
+		rec.Evicts = len(out.Evicted)
+		rec.RolledBack = out.RolledBack
+		rec.Resolved = out.Resolved
+		if !d.mask.Pristine() {
+			rec.Degraded = CountDegraded(evalIn, planned, out.Eval, d.cfg.Mode, seed)
+		}
+		d.lastDegraded = rec.Degraded
+	} else {
+		// Steady epoch: nothing changed, so the bound delta evaluator carries
+		// the previous epoch's routes forward (and absorbs lifecycle reclaims
+		// as pure cost deltas).
+		d.ensureDelta(seed)
+		d.de.AdvanceTo(d.placement)
+		d.lastEval = d.de.Eval()
+		rec.Incremental = true
+		rec.Degraded = d.lastDegraded
+	}
+	if invariant.Enabled {
+		invariant.CheckPostRepair(d.mask.Instance(evalIn), d.lastEval, "serve.Tick")
+	}
+
+	d.fillEvalColumns(&rec, evalIn)
+	d.lifecycleEnd(&rec, d.lastEval)
+	if invariant.Enabled {
+		// Only after observe/reap have reconciled the idle counters with the
+		// (possibly policy-replaced) placement is the coherence rule total.
+		d.checkLifecycleCoherence()
+	}
+	d.finish(&rec)
+	return &rec, nil
+}
+
+// finish stamps the epoch into the record stream and advances the clock.
+func (d *Daemon) finish(rec *EpochRecord) {
+	d.records = append(d.records, *rec)
+	d.slot++
+}
+
+// admit drains every queued event due this epoch, in admission order, and
+// reports whether the active workload changed. Fault events are staged for
+// the post-planning strike phase; arrivals beyond MaxBatch are deferred to
+// the next epoch.
+func (d *Daemon) admit(rec *EpochRecord) bool {
+	changed := false
+	arrivals := 0
+	rest := d.queue[:0]
+	for idx := range d.queue {
+		ev := d.queue[idx]
+		if ev.Slot > d.slot {
+			rest = append(rest, ev)
+			continue
+		}
+		switch ev.Kind {
+		case EvFault:
+			d.faults = append(d.faults, ev)
+		case EvArrive:
+			if d.cfg.MaxBatch > 0 && arrivals >= d.cfg.MaxBatch {
+				ev.Slot = d.slot + 1
+				rec.Deferred++
+				rest = append(rest, ev)
+				continue
+			}
+			req := ev.Req
+			req.ID = ev.ID
+			req.Chain = append([]int(nil), ev.Req.Chain...)
+			req.EdgeData = append([]float64(nil), ev.Req.EdgeData...)
+			d.active = append(d.active, req)
+			arrivals++
+			rec.Arrived++
+			changed = true
+		case EvDepart:
+			if i := d.findActive(ev.ID); i >= 0 {
+				d.active = append(d.active[:i], d.active[i+1:]...)
+				rec.Departed++
+				changed = true
+			}
+		case EvMove:
+			if i := d.findActive(ev.ID); i >= 0 && d.active[i].Home != ev.Node {
+				d.active[i].Home = ev.Node
+				rec.Moved++
+				changed = true
+			}
+		}
+	}
+	d.queue = rest
+	if changed {
+		d.workGen++
+	}
+	return changed
+}
+
+func (d *Daemon) findActive(id int) int {
+	for i := range d.active {
+		if d.active[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// instanceOn builds this epoch's instance on the given substrate view. The
+// cold-start model rides along (nil unless the lifecycle prices cold starts).
+func (d *Daemon) instanceOn(g *topology.Graph) *model.Instance {
+	return &model.Instance{
+		Graph:     g,
+		Workload:  &msvc.Workload{Catalog: d.cfg.Catalog, Requests: d.active},
+		Lambda:    d.cfg.Lambda,
+		Budget:    d.cfg.Budget,
+		Cloud:     d.cfg.Cloud,
+		ColdStart: d.cold,
+	}
+}
+
+// ensureDelta (re)binds the incremental evaluator when any validity stamp —
+// masked substrate, workload generation, cold-set epoch, or (for random
+// routing) the per-epoch seed — has moved since the last binding.
+func (d *Daemon) ensureDelta(seed int64) {
+	g := d.mask.Graph()
+	coldEpoch := uint64(0)
+	if d.cold != nil {
+		coldEpoch = d.cold.Epoch()
+	}
+	if d.de != nil && d.deGraph == g && d.deWorkGen == d.workGen &&
+		d.deColdEpoch == coldEpoch &&
+		(d.cfg.Mode != model.RouteModeRandom || d.deSeed == seed) {
+		return
+	}
+	d.de = model.NewDeltaEvaluator(d.instanceOn(g), d.placement.Clone(), d.cfg.Mode, seed)
+	d.deGraph, d.deWorkGen, d.deColdEpoch, d.deSeed = g, d.workGen, coldEpoch, seed
+}
+
+// fillEvalColumns mirrors the simulator's per-slot statistics exactly (same
+// accumulation order) so replay records compare bitwise.
+func (d *Daemon) fillEvalColumns(rec *EpochRecord, evalIn *model.Instance) {
+	ev := d.lastEval
+	rec.Cost = ev.Cost
+	rec.Objective = ev.Objective
+	rec.Missing = ev.MissingInstances
+	rec.Unroutable = ev.Unroutable
+	rec.CloudServed = ev.CloudServed
+	maxd := 0.0
+	sum, n := 0.0, 0
+	for _, dl := range ev.Latencies {
+		if math.IsInf(dl, 1) {
+			continue
+		}
+		sum += dl
+		n++
+		if dl > maxd {
+			maxd = dl
+		}
+		d.allDelays = append(d.allDelays, dl)
+	}
+	if n > 0 {
+		rec.AvgDelay = sum / float64(n)
+	}
+	rec.MaxDelay = maxd
+	rec.ServedObjective = evalIn.Objective(ev.Cost, sum)
+	if d.cold != nil {
+		for h, rt := range ev.Routes {
+			if rt.Nodes == nil {
+				continue
+			}
+			chain := d.active[h].Chain
+			for t, k := range rt.Nodes {
+				if d.cold.IsCold(chain[t], k) {
+					rec.ColdSteps++
+				}
+			}
+		}
+	}
+}
+
+// lifecycleEnd folds the served epoch into the lifecycle state and scales
+// idle instances to zero. Reclaimed instances are removed from the live
+// placement now; they become cold at the next epoch boundary.
+func (d *Daemon) lifecycleEnd(rec *EpochRecord, ev *model.Evaluation) {
+	if d.life == nil || !d.havePlacement {
+		return
+	}
+	var used [][]bool
+	if ev != nil {
+		used = make([][]bool, d.cfg.Catalog.Len())
+		for i := range used {
+			used[i] = make([]bool, d.cfg.Graph.N())
+		}
+		for h, rt := range ev.Routes {
+			if rt.Nodes == nil {
+				continue
+			}
+			chain := d.active[h].Chain
+			for t, k := range rt.Nodes {
+				used[chain[t]][k] = true
+			}
+		}
+	}
+	demand := make([]int, d.cfg.Catalog.Len())
+	seen := make([]int, d.cfg.Catalog.Len())
+	for h := range d.active {
+		for _, s := range d.active[h].Chain {
+			if seen[s] != h+1 {
+				seen[s] = h + 1
+				demand[s]++
+			}
+		}
+	}
+	d.life.observe(used, demand, d.placement)
+	removed, spares := d.life.reap(d.placement)
+	rec.ScaledToZero = len(removed)
+	rec.WarmSpares = spares
+}
+
+// checkLifecycleCoherence asserts (under the soclinvariants tag) that the
+// serverless state stays aligned with the live placement: idle counters only
+// age deployed instances, and every cold coordinate the model will charge
+// next epoch is either deployed or about to be marked warm-irrelevant.
+func (d *Daemon) checkLifecycleCoherence() {
+	if d.life != nil {
+		for i := range d.life.idle {
+			for k := range d.life.idle[i] {
+				invariant.Assertf(d.life.idle[i][k] == 0 || d.placement.Has(i, k),
+					"serve: idle counter %d on undeployed instance (%d,%d)", d.life.idle[i][k], i, k)
+			}
+		}
+	}
+	if d.cold != nil {
+		invariant.Assertf(d.cold.ColdCount() <= d.cfg.Catalog.Len()*d.cfg.Graph.N(),
+			"serve: cold count %d exceeds coordinate space", d.cold.ColdCount())
+	}
+}

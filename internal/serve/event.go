@@ -1,0 +1,390 @@
+// Package serve is the long-running control plane over the placement stack:
+// where package sim replays a closed workload trace slot by slot (re-planning
+// from scratch each slot, the paper's one-shot discipline), serve owns a
+// *live* substrate and placement and ingests an open event stream — request
+// arrivals, departures, user moves, fault strikes and heals — reacting
+// incrementally through the delta machinery (model.DeltaEvaluator,
+// internal/repair) and only escalating to a full re-solve when the repaired
+// score degrades past a configurable threshold.
+//
+// The package has three layers:
+//
+//   - events and scripts (this file): a deterministic, exactly
+//     round-trippable text format for event streams, so a daemon run can be
+//     recorded, replayed, and compared bitwise against a batch sim.Run;
+//   - policies (policy.go): the per-epoch reaction shared with internal/sim —
+//     one Policy interface whose none/repair/resolve implementations are the
+//     simulator's fault branches, plus the daemon's threshold escalation;
+//   - the daemon (daemon.go, lifecycle.go): the event loop with admission
+//     batching and the serverless instance lifecycle (idle tracking,
+//     scale-to-zero, warm-pool sizing, cold-start pricing).
+//
+// Everything here is deterministic: the package draws no randomness, reads no
+// clock except for duration telemetry, and two identically-seeded runs are
+// asserted bit-identical by test.
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/msvc"
+)
+
+// EventKind discriminates stream events.
+type EventKind int
+
+// Stream event kinds.
+const (
+	// EvArrive admits a request: it stays active (re-served every epoch)
+	// until a matching EvDepart.
+	EvArrive EventKind = iota
+	// EvDepart retires the active request with the event's ID.
+	EvDepart
+	// EvMove re-homes the active request with the event's ID to Node (user
+	// mobility as seen by the control plane).
+	EvMove
+	// EvFault applies one chaos event to the daemon's substrate mask.
+	EvFault
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvArrive:
+		return "arrive"
+	case EvDepart:
+		return "depart"
+	case EvMove:
+		return "move"
+	case EvFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one timestamped stream event. Slot is the epoch the event is due;
+// the daemon admits every queued event with Slot <= the current epoch, in
+// admission order (fault events strike after planning, mirroring the
+// simulator's causal slot timeline).
+type Event struct {
+	Slot int
+	Kind EventKind
+	// ID names the request for arrive/depart/move. Arrivals must carry IDs
+	// unique among concurrently-active requests.
+	ID int
+	// Node is the new home for EvMove.
+	Node int
+	// Req is the arrival payload (Req.ID == ID).
+	Req msvc.Request
+	// Fault is the chaos payload for EvFault (Fault.Slot is ignored; Slot
+	// governs).
+	Fault chaos.Event
+}
+
+// Meta is the scenario recipe a script carries so a daemon can rebuild the
+// exact substrate and evaluation parameters of the run that recorded it.
+type Meta struct {
+	Nodes    int
+	Radius   float64
+	TopoSeed int64
+	CatSeed  int64
+
+	Lambda      float64
+	Budget      float64
+	SlotMinutes float64
+	NumSlots    int
+	// RouteSeed is the base of the per-epoch routing seed (seed+epoch),
+	// matching the simulator's per-slot derivation. Only RouteModeRandom
+	// consumes it.
+	RouteSeed int64
+	// CloudTransfer/CloudCompute configure the cloud fallback; both zero
+	// means no fallback.
+	CloudTransfer float64
+	CloudCompute  float64
+}
+
+// Script is a recorded event stream plus its scenario recipe.
+type Script struct {
+	Meta   Meta
+	Events []Event
+}
+
+// fmtF renders a float so it round-trips bitwise: hex significand form for
+// finite values, the textual specials otherwise.
+func fmtF(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+func parseF(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// faultKindNames maps the chaos.FaultKind String values back to kinds.
+var faultKindNames = map[string]chaos.FaultKind{
+	"node-crash":      chaos.NodeCrash,
+	"node-recover":    chaos.NodeRecover,
+	"link-degrade":    chaos.LinkDegrade,
+	"link-restore":    chaos.LinkRestore,
+	"storage-shrink":  chaos.StorageShrink,
+	"storage-restore": chaos.StorageRestore,
+}
+
+// WriteScript serializes a script in the v1 text format. Every float is
+// written in hexadecimal significand form, so ParseScript(WriteScript(s))
+// reproduces s bit for bit (pinned by test).
+func WriteScript(w io.Writer, s *Script) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# soclserved event script v1")
+	m := s.Meta
+	fmt.Fprintf(bw, "meta nodes=%d radius=%s toposeed=%d catseed=%d lambda=%s budget=%s slotmin=%s slots=%d routeseed=%d cloudtransfer=%s cloudcompute=%s\n",
+		m.Nodes, fmtF(m.Radius), m.TopoSeed, m.CatSeed, fmtF(m.Lambda), fmtF(m.Budget),
+		fmtF(m.SlotMinutes), m.NumSlots, m.RouteSeed, fmtF(m.CloudTransfer), fmtF(m.CloudCompute))
+	for i := range s.Events {
+		e := &s.Events[i]
+		switch e.Kind {
+		case EvArrive:
+			chain := make([]string, len(e.Req.Chain))
+			for t, svc := range e.Req.Chain {
+				chain[t] = strconv.Itoa(svc)
+			}
+			edge := "-"
+			if len(e.Req.EdgeData) > 0 {
+				parts := make([]string, len(e.Req.EdgeData))
+				for t, v := range e.Req.EdgeData {
+					parts[t] = fmtF(v)
+				}
+				edge = strings.Join(parts, ",")
+			}
+			fmt.Fprintf(bw, "arrive %d %d %d %s %s %s %s %s\n",
+				e.Slot, e.ID, e.Req.Home, fmtF(e.Req.DataIn), fmtF(e.Req.DataOut),
+				fmtF(e.Req.Deadline), strings.Join(chain, ","), edge)
+		case EvDepart:
+			fmt.Fprintf(bw, "depart %d %d\n", e.Slot, e.ID)
+		case EvMove:
+			fmt.Fprintf(bw, "move %d %d %d\n", e.Slot, e.ID, e.Node)
+		case EvFault:
+			f := e.Fault
+			switch f.Kind {
+			case chaos.LinkDegrade, chaos.LinkRestore:
+				fmt.Fprintf(bw, "fault %d %s %d %d %s\n", e.Slot, f.Kind, f.A, f.B, fmtF(f.Factor))
+			case chaos.StorageShrink, chaos.StorageRestore:
+				fmt.Fprintf(bw, "fault %d %s %d %s\n", e.Slot, f.Kind, f.Node, fmtF(f.Factor))
+			default:
+				fmt.Fprintf(bw, "fault %d %s %d\n", e.Slot, f.Kind, f.Node)
+			}
+		default:
+			return fmt.Errorf("serve: cannot serialize event kind %v", e.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseScript reads the v1 text format. Blank lines and #-comments are
+// skipped.
+func ParseScript(r io.Reader) (*Script, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	s := &Script{}
+	sawMeta := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(err error) (*Script, error) {
+			return nil, fmt.Errorf("serve: script line %d: %w", lineNo, err)
+		}
+		switch f[0] {
+		case "meta":
+			if err := parseMeta(f[1:], &s.Meta); err != nil {
+				return fail(err)
+			}
+			sawMeta = true
+		case "arrive":
+			if len(f) != 9 {
+				return fail(fmt.Errorf("arrive wants 8 fields, got %d", len(f)-1))
+			}
+			ev := Event{Kind: EvArrive}
+			var err error
+			if ev.Slot, err = strconv.Atoi(f[1]); err == nil {
+				ev.ID, err = strconv.Atoi(f[2])
+			}
+			if err == nil {
+				ev.Req.Home, err = strconv.Atoi(f[3])
+			}
+			if err == nil {
+				ev.Req.DataIn, err = parseF(f[4])
+			}
+			if err == nil {
+				ev.Req.DataOut, err = parseF(f[5])
+			}
+			if err == nil {
+				ev.Req.Deadline, err = parseF(f[6])
+			}
+			if err != nil {
+				return fail(err)
+			}
+			for _, c := range strings.Split(f[7], ",") {
+				svc, err := strconv.Atoi(c)
+				if err != nil {
+					return fail(err)
+				}
+				ev.Req.Chain = append(ev.Req.Chain, svc)
+			}
+			if f[8] != "-" {
+				for _, c := range strings.Split(f[8], ",") {
+					v, err := parseF(c)
+					if err != nil {
+						return fail(err)
+					}
+					ev.Req.EdgeData = append(ev.Req.EdgeData, v)
+				}
+			}
+			if len(ev.Req.EdgeData) != len(ev.Req.Chain)-1 {
+				return fail(fmt.Errorf("edge data length %d != chain length %d - 1",
+					len(ev.Req.EdgeData), len(ev.Req.Chain)))
+			}
+			ev.Req.ID = ev.ID
+			s.Events = append(s.Events, ev)
+		case "depart", "move":
+			if (f[0] == "depart" && len(f) != 3) || (f[0] == "move" && len(f) != 4) {
+				return fail(fmt.Errorf("%s wants %d fields", f[0], map[string]int{"depart": 2, "move": 3}[f[0]]))
+			}
+			ev := Event{Kind: EvDepart}
+			if f[0] == "move" {
+				ev.Kind = EvMove
+			}
+			var err error
+			if ev.Slot, err = strconv.Atoi(f[1]); err == nil {
+				ev.ID, err = strconv.Atoi(f[2])
+			}
+			if err == nil && ev.Kind == EvMove {
+				ev.Node, err = strconv.Atoi(f[3])
+			}
+			if err != nil {
+				return fail(err)
+			}
+			s.Events = append(s.Events, ev)
+		case "fault":
+			ev, err := parseFault(f[1:])
+			if err != nil {
+				return fail(err)
+			}
+			s.Events = append(s.Events, ev)
+		default:
+			return fail(fmt.Errorf("unknown directive %q", f[0]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: reading script: %w", err)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("serve: script has no meta line")
+	}
+	return s, nil
+}
+
+func parseMeta(kvs []string, m *Meta) error {
+	for _, kv := range kvs {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return fmt.Errorf("meta field %q is not key=value", kv)
+		}
+		k, v := kv[:eq], kv[eq+1:]
+		var err error
+		switch k {
+		case "nodes":
+			m.Nodes, err = strconv.Atoi(v)
+		case "radius":
+			m.Radius, err = parseF(v)
+		case "toposeed":
+			m.TopoSeed, err = strconv.ParseInt(v, 10, 64)
+		case "catseed":
+			m.CatSeed, err = strconv.ParseInt(v, 10, 64)
+		case "lambda":
+			m.Lambda, err = parseF(v)
+		case "budget":
+			m.Budget, err = parseF(v)
+		case "slotmin":
+			m.SlotMinutes, err = parseF(v)
+		case "slots":
+			m.NumSlots, err = strconv.Atoi(v)
+		case "routeseed":
+			m.RouteSeed, err = strconv.ParseInt(v, 10, 64)
+		case "cloudtransfer":
+			m.CloudTransfer, err = parseF(v)
+		case "cloudcompute":
+			m.CloudCompute, err = parseF(v)
+		default:
+			return fmt.Errorf("unknown meta key %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("meta %s: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func parseFault(f []string) (Event, error) {
+	if len(f) < 3 {
+		return Event{}, fmt.Errorf("fault wants at least slot, kind, target")
+	}
+	slot, err := strconv.Atoi(f[0])
+	if err != nil {
+		return Event{}, err
+	}
+	kind, ok := faultKindNames[f[1]]
+	if !ok {
+		return Event{}, fmt.Errorf("unknown fault kind %q", f[1])
+	}
+	ev := Event{Slot: slot, Kind: EvFault, Fault: chaos.Event{Slot: slot, Kind: kind}}
+	switch kind {
+	case chaos.LinkDegrade, chaos.LinkRestore:
+		if len(f) != 5 {
+			return Event{}, fmt.Errorf("%s wants a b factor", kind)
+		}
+		if ev.Fault.A, err = strconv.Atoi(f[2]); err != nil {
+			return Event{}, err
+		}
+		if ev.Fault.B, err = strconv.Atoi(f[3]); err != nil {
+			return Event{}, err
+		}
+		if ev.Fault.Factor, err = parseF(f[4]); err != nil {
+			return Event{}, err
+		}
+	case chaos.StorageShrink, chaos.StorageRestore:
+		if len(f) != 4 {
+			return Event{}, fmt.Errorf("%s wants node factor", kind)
+		}
+		if ev.Fault.Node, err = strconv.Atoi(f[2]); err != nil {
+			return Event{}, err
+		}
+		if ev.Fault.Factor, err = parseF(f[3]); err != nil {
+			return Event{}, err
+		}
+	default:
+		if len(f) != 3 {
+			return Event{}, fmt.Errorf("%s wants node", kind)
+		}
+		if ev.Fault.Node, err = strconv.Atoi(f[2]); err != nil {
+			return Event{}, err
+		}
+	}
+	return ev, nil
+}

@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/repair"
+	"repro/internal/topology"
+)
+
+// EpochContext is one epoch's reaction input: the substrate as faulted, the
+// workload as currently admitted, and the placement that was planned before
+// the epoch's damage struck. Both the simulator's fault branches and the
+// daemon's event loop build one of these per epoch and dispatch through the
+// same Policy implementations, so the two paths cannot drift.
+type EpochContext struct {
+	// In is the epoch's instance on the *base* graph (repair and the mask
+	// derive masked views themselves), carrying the epoch's live requests.
+	In *model.Instance
+	// Mask is the accumulated substrate fault state.
+	Mask *chaos.Mask
+	// Planned is the placement meeting this epoch — possibly stale relative
+	// to the damage.
+	Planned model.Placement
+	// Mode and Seed select request routing (Seed feeds RouteModeRandom).
+	Mode model.RoutingMode
+	Seed int64
+	// Repair tunes the incremental engine; Mode and Seed above override its
+	// routing fields.
+	Repair repair.Config
+	// Resolve recomputes a placement from scratch on the masked instance it
+	// is handed. Required by ResolvePolicy and AutoPolicy escalation.
+	Resolve func(*model.Instance) (model.Placement, error)
+	// PlannerName labels Resolve in error messages.
+	PlannerName string
+}
+
+// Outcome reports what actually served an epoch.
+type Outcome struct {
+	// Placement is the placement that served (on the masked substrate).
+	Placement model.Placement
+	// Eval is its exact evaluation on the masked substrate.
+	Eval *model.Evaluation
+	// ReactTime is the wall-clock cost of the reaction (repair or re-solve).
+	ReactTime time.Duration
+	// Added and Evicted list repair's placement changes in commit order.
+	Added, Evicted []chaos.Inst
+	// RolledBack counts repair candidates scored and reverted.
+	RolledBack int
+	// Resolved reports that a full re-solve produced the placement.
+	Resolved bool
+}
+
+// Policy decides how a stale placement meets a damaged (or merely busier)
+// substrate each epoch.
+type Policy interface {
+	Name() string
+	Serve(ctx *EpochContext) (Outcome, error)
+}
+
+// NonePolicy serves whatever survived: instances on crashed nodes are gone
+// and their requests degrade to the cloud or go unserved. The no-repair
+// lower bound (the simulator's PolicyNone branch).
+type NonePolicy struct{}
+
+// Name implements Policy.
+func (NonePolicy) Name() string { return "none" }
+
+// Serve implements Policy.
+func (NonePolicy) Serve(ctx *EpochContext) (Outcome, error) {
+	masked, _ := ctx.Mask.MaskPlacement(ctx.Planned)
+	ev := ctx.Mask.Instance(ctx.In).EvaluateRouted(masked, ctx.Mode, ctx.Seed)
+	return Outcome{Placement: masked, Eval: ev}, nil
+}
+
+// RepairPolicy runs the incremental repair engine on the stale placement:
+// re-route, evict to restore feasibility, greedily re-provision (the
+// simulator's PolicyRepair branch, and the daemon's per-epoch reaction).
+type RepairPolicy struct {
+	// Run, when non-nil, replaces the direct repair.Run call. This is the
+	// seam through which a warm-started online solver both performs the
+	// repair and adopts its result as the next slot's warm state
+	// (core.OnlineSolver.Repair); nil runs the engine standalone.
+	Run func(in *model.Instance, m *chaos.Mask, p model.Placement, cfg repair.Config) (*repair.Result, error)
+}
+
+// Name implements Policy.
+func (RepairPolicy) Name() string { return "repair" }
+
+// Serve implements Policy.
+func (p RepairPolicy) Serve(ctx *EpochContext) (Outcome, error) {
+	rcfg := ctx.Repair
+	rcfg.Mode = ctx.Mode
+	rcfg.Seed = ctx.Seed
+	//socllint:ignore detrand wall-clock reaction time is reported, never branched on
+	t0 := time.Now()
+	var res *repair.Result
+	var err error
+	if p.Run != nil {
+		res, err = p.Run(ctx.In, ctx.Mask, ctx.Planned, rcfg)
+	} else {
+		res = repair.Run(ctx.In, ctx.Mask, ctx.Planned, rcfg)
+	}
+	//socllint:ignore detrand wall-clock reaction time is reported, never branched on
+	rt := time.Since(t0)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("repair failed: %w", err)
+	}
+	return Outcome{
+		Placement:  res.Placement,
+		Eval:       res.After,
+		ReactTime:  rt,
+		Added:      res.Added,
+		Evicted:    res.Evicted,
+		RolledBack: res.RolledBack,
+	}, nil
+}
+
+// ResolvePolicy re-runs the full placement algorithm on the post-fault
+// masked substrate: the expensive reference an incremental repair competes
+// with (the simulator's PolicyResolve branch).
+type ResolvePolicy struct{}
+
+// Name implements Policy.
+func (ResolvePolicy) Name() string { return "resolve" }
+
+// Serve implements Policy.
+func (ResolvePolicy) Serve(ctx *EpochContext) (Outcome, error) {
+	mi := ctx.Mask.Instance(ctx.In)
+	//socllint:ignore detrand wall-clock reaction time is reported, never branched on
+	t0 := time.Now()
+	p2, err := ctx.Resolve(mi)
+	//socllint:ignore detrand wall-clock reaction time is reported, never branched on
+	rt := time.Since(t0)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("%s re-solve failed: %w", ctx.PlannerName, err)
+	}
+	ev := mi.EvaluateRouted(p2, ctx.Mode, ctx.Seed)
+	return Outcome{Placement: p2, Eval: ev, ReactTime: rt, Resolved: true}, nil
+}
+
+// AutoPolicy is the daemon's default reaction: always repair incrementally,
+// and escalate to a full re-solve only when the post-repair score still
+// leaves more than Threshold of the epoch's requests unserved. The re-solve
+// outcome is adopted only if it beats the repair under the same lexicographic
+// ⟨unserved, served-part objective⟩ order the repair engine optimizes, so
+// the daemon never serves worse for having escalated.
+type AutoPolicy struct {
+	// Threshold is the tolerated post-repair unserved fraction in (0,1];
+	// a negative value disables escalation entirely. Zero escalates on any
+	// unserved request.
+	Threshold float64
+	// Repair performs the incremental round (its Run seam is honored).
+	Repair RepairPolicy
+}
+
+// Name implements Policy.
+func (AutoPolicy) Name() string { return "auto" }
+
+// Serve implements Policy.
+func (p AutoPolicy) Serve(ctx *EpochContext) (Outcome, error) {
+	out, err := p.Repair.Serve(ctx)
+	if err != nil || p.Threshold < 0 || ctx.Resolve == nil {
+		return out, err
+	}
+	n := len(ctx.In.Workload.Requests)
+	if n == 0 || float64(out.Eval.Unserved()) <= p.Threshold*float64(n) {
+		return out, nil
+	}
+	rout, rerr := ResolvePolicy{}.Serve(ctx)
+	if rerr != nil {
+		// The repair outcome still serves; escalation failure is not fatal.
+		return out, nil
+	}
+	rout.ReactTime += out.ReactTime
+	if betterOutcome(ctx.In, &rout, &out) {
+		return rout, nil
+	}
+	out.ReactTime = rout.ReactTime
+	return out, nil
+}
+
+// betterOutcome orders outcomes by ⟨unserved, served-part objective⟩ with
+// the evaluator's objective tolerance, mirroring the repair engine's score.
+func betterOutcome(in *model.Instance, a, b *Outcome) bool {
+	ua, ub := a.Eval.Unserved(), b.Eval.Unserved()
+	if ua != ub {
+		return ua < ub
+	}
+	return servedObjective(in, a.Eval) < servedObjective(in, b.Eval)-model.ObjTol
+}
+
+// servedObjective is the Eq. 3/8 objective over the requests an evaluation
+// actually served: the raw objective saturates at +Inf the moment one
+// request goes unserved, so cross-policy comparisons need the finite part.
+// Bitwise equal to the simulator's ServedObjective column by construction
+// (same index-order summation of finite latencies).
+func servedObjective(in *model.Instance, ev *model.Evaluation) float64 {
+	sum := 0.0
+	for _, d := range ev.Latencies {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		sum += d
+	}
+	return in.Objective(ev.Cost, sum)
+}
+
+// CountDegraded counts edge-served requests in ev that completed slower than
+// the no-fault reference — the planned placement evaluated on the pristine
+// base-graph instance with the same homes (the simulator's Degraded column;
+// shared so the daemon's replay stays bit-identical).
+func CountDegraded(in *model.Instance, planned model.Placement, ev *model.Evaluation, mode model.RoutingMode, seed int64) int {
+	ref := in.EvaluateRouted(planned, mode, seed)
+	degraded := 0
+	for h := range ev.Latencies {
+		if ev.Routes[h].Nodes == nil || math.IsInf(ev.Latencies[h], 1) {
+			continue
+		}
+		if ev.Latencies[h] > ref.Latencies[h]+model.FeasTol {
+			degraded++
+		}
+	}
+	return degraded
+}
+
+// Relocator returns the deterministic re-homing rule for displaced users and
+// requests: a node maps to itself while up, otherwise to the nearest up node
+// by base-graph path cost (first minimum in ascending node order; lowest-ID
+// up node if no finite path; the node itself if nothing is up). Results are
+// memoized per returned closure, so build one per epoch.
+func Relocator(m *chaos.Mask, g *topology.Graph) func(int) int {
+	target := make([]int, g.N())
+	for k := range target {
+		target[k] = -1
+	}
+	return func(k int) int {
+		if m.NodeUp(k) {
+			return k
+		}
+		if target[k] >= 0 {
+			return target[k]
+		}
+		best, bestCost := -1, math.Inf(1)
+		for q := 0; q < g.N(); q++ {
+			if !m.NodeUp(q) {
+				continue
+			}
+			if c := g.PathCost(k, q); best < 0 || c < bestCost {
+				best, bestCost = q, c
+			}
+		}
+		if best < 0 {
+			best = k // no node is up; keep the home (the mask floor prevents this)
+		}
+		target[k] = best
+		return best
+	}
+}
+
+// RehomeRequests moves every request homed on a down node to the nearest up
+// node under Relocator's rule, returning the number of requests moved.
+func RehomeRequests(m *chaos.Mask, g *topology.Graph, reqs []msvc.Request) int {
+	if m.Pristine() {
+		return 0
+	}
+	relocate := Relocator(m, g)
+	moved := 0
+	for i := range reqs {
+		if nh := relocate(reqs[i].Home); nh != reqs[i].Home {
+			reqs[i].Home = nh
+			moved++
+		}
+	}
+	return moved
+}

@@ -17,10 +17,11 @@ package sim
 // no-fault path byte for byte (same RNG draws, same records).
 
 import (
-	"math"
+	"fmt"
 
 	"repro/internal/chaos"
 	"repro/internal/msvc"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -44,12 +45,34 @@ const (
 
 func (p FaultPolicy) String() string {
 	switch p {
+	case PolicyNone:
+		return "none"
 	case PolicyRepair:
 		return "repair"
 	case PolicyResolve:
 		return "resolve"
 	default:
-		return "none"
+		// Out-of-range values used to collapse to "none", which made a
+		// mis-parsed flag silently run the no-repair lower bound.
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// policyFor maps a FaultPolicy onto the shared serve.Policy layer for algo.
+// An algorithm that implements repairDriver gets to drive the repair engine
+// itself (core.OnlineSolver composes repair with its warm state).
+func policyFor(p FaultPolicy, algo Algorithm) serve.Policy {
+	switch p {
+	case PolicyRepair:
+		rp := serve.RepairPolicy{}
+		if drv, ok := algo.(repairDriver); ok {
+			rp.Run = drv.RepairWith
+		}
+		return rp
+	case PolicyResolve:
+		return serve.ResolvePolicy{}
+	default:
+		return serve.NonePolicy{}
 	}
 }
 
@@ -62,32 +85,7 @@ func rehomeUsers(m *chaos.Mask, g *topology.Graph, homes []int, reqs []msvc.Requ
 	if m.Pristine() {
 		return 0
 	}
-	target := make([]int, g.N())
-	for k := range target {
-		target[k] = -1
-	}
-	relocate := func(k int) int {
-		if m.NodeUp(k) {
-			return k
-		}
-		if target[k] >= 0 {
-			return target[k]
-		}
-		best, bestCost := -1, math.Inf(1)
-		for q := 0; q < g.N(); q++ {
-			if !m.NodeUp(q) {
-				continue
-			}
-			if c := g.PathCost(k, q); best < 0 || c < bestCost {
-				best, bestCost = q, c
-			}
-		}
-		if best < 0 {
-			best = k // no node is up; keep the home (the mask floor prevents this)
-		}
-		target[k] = best
-		return best
-	}
+	relocate := serve.Relocator(m, g)
 	moved := 0
 	for u := range homes {
 		if nh := relocate(homes[u]); nh != homes[u] {
@@ -180,6 +178,22 @@ func (r *Result) RecoveryRuns() []int {
 		runs = append(runs, cur)
 	}
 	return runs
+}
+
+// RecoveryPercentile returns the p-th percentile (0–100, linear
+// interpolation) of RecoveryRuns, or 0 when service was never lost. Recovery
+// times are heavy-tailed under bursty fault schedules, so the tails say more
+// than MeanRecoverySlots does.
+func (r *Result) RecoveryPercentile(p float64) float64 {
+	runs := r.RecoveryRuns()
+	if len(runs) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(runs))
+	for i, x := range runs {
+		xs[i] = float64(x)
+	}
+	return stats.Percentile(xs, p)
 }
 
 // MeanRecoverySlots averages RecoveryRuns, or 0 when service was never lost.

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/repair"
 )
 
 // SoCLOnline adapts core.OnlineSolver: SoCL with warm-instance retention
@@ -39,4 +41,12 @@ func (s *SoCLOnline) Place(in *model.Instance) (model.Placement, error) {
 	}
 	s.slots++
 	return sol.Placement, nil
+}
+
+// RepairWith implements repairDriver: the online solver performs the repair
+// and adopts the repaired placement as the next slot's warm state, so
+// planned-ahead placements and fault repair compose (a repaired-away
+// instance is not resurrected by the next slot's warm start).
+func (s *SoCLOnline) RepairWith(in *model.Instance, m *chaos.Mask, p model.Placement, cfg repair.Config) (*repair.Result, error) {
+	return s.solver.Repair(in, m, p, cfg)
 }

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chaos"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// EventStream records the exact event stream a Run over cfg would experience
+// — request arrivals with their stochastic chains and homes, per-slot
+// departures (the simulator's requests live one slot), user mobility as home
+// moves, and fault strikes — as a serve.Script the placement daemon can
+// ingest. It replays Run's RNG draws in the identical order (same split
+// seeds), so feeding the script to a daemon in replay mode reproduces the
+// batch run bitwise (see CompareReplay).
+//
+// Arrival events carry the homes as generated, before any re-homing: the
+// daemon re-homes its admitted requests against its own mask, exactly where
+// Run does.
+func EventStream(cfg Config) (*serve.Script, error) {
+	if cfg.Graph == nil || cfg.Catalog == nil {
+		return nil, fmt.Errorf("sim: nil graph or catalog")
+	}
+	if cfg.NumUsers <= 0 || cfg.SlotMinutes <= 0 || cfg.DurationMinutes <= 0 {
+		return nil, fmt.Errorf("sim: non-positive sizing (users=%d slot=%v dur=%v)",
+			cfg.NumUsers, cfg.SlotMinutes, cfg.DurationMinutes)
+	}
+	if cfg.MeanInterarrival <= 0 {
+		cfg.MeanInterarrival = cfg.SlotMinutes
+	}
+	r := stats.NewRand(stats.SplitSeed(cfg.Seed, "sim/run"))
+	flows := cfg.Catalog.Flows()
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("sim: catalog has no flows")
+	}
+	var mask *chaos.Mask
+	if cfg.Faults != nil {
+		mask = chaos.NewMask(cfg.Graph)
+	}
+
+	homes := make([]int, cfg.NumUsers)
+	for u := range homes {
+		homes[u] = r.Intn(cfg.Graph.N())
+	}
+
+	numSlots := int(cfg.DurationMinutes / cfg.SlotMinutes)
+	s := &serve.Script{Meta: serve.Meta{
+		Nodes:       cfg.Graph.N(),
+		Lambda:      cfg.Lambda,
+		Budget:      cfg.Budget,
+		SlotMinutes: cfg.SlotMinutes,
+		NumSlots:    numSlots,
+		RouteSeed:   stats.SplitSeed(cfg.Seed, "sim/route"),
+	}}
+	if cfg.Cloud != nil {
+		s.Meta.CloudTransfer = cfg.Cloud.TransferCost
+		s.Meta.CloudCompute = cfg.Cloud.Compute
+	}
+
+	nextID := 0
+	var prev []int // IDs of the previous slot's arrivals (they depart now)
+	for slot := 0; slot < numSlots; slot++ {
+		// Mobility: the same draws Run makes, in the same order.
+		for u := range homes {
+			if r.Float64() < cfg.MoveProb {
+				nb := cfg.Graph.Neighbors(homes[u])
+				if len(nb) > 0 {
+					hop := nb[r.Intn(len(nb))]
+					if mask == nil || mask.NodeUp(hop) {
+						homes[u] = hop
+					}
+				}
+			}
+		}
+		reqs := makeSlotRequests(cfg, r, homes, flows)
+
+		// Departures first: the simulator's requests live exactly one slot,
+		// so the daemon's active set each epoch is that slot's arrivals, in
+		// arrival order (RouteModeRandom keys on the active index).
+		for _, id := range prev {
+			s.Events = append(s.Events, serve.Event{Slot: slot, Kind: serve.EvDepart, ID: id})
+		}
+		prev = prev[:0]
+		for i := range reqs {
+			ev := serve.Event{Slot: slot, Kind: serve.EvArrive, ID: nextID, Node: reqs[i].Home, Req: reqs[i]}
+			s.Events = append(s.Events, ev)
+			prev = append(prev, nextID)
+			nextID++
+		}
+
+		// Fault strikes are emitted after the arrivals: the daemon stages
+		// them past its planning phase, matching Run's plan-then-strike slot
+		// order. The recorder applies them to its own mask to keep the
+		// mobility and re-homing draws aligned with Run's user state.
+		if mask != nil {
+			for _, e := range cfg.Faults.At(slot) {
+				if err := mask.Apply(e); err != nil {
+					return nil, fmt.Errorf("sim: recording fault %v: %w", e, err)
+				}
+				s.Events = append(s.Events, serve.Event{Slot: slot, Kind: serve.EvFault, Fault: e})
+			}
+			// Run re-homes users only on slots that generated requests.
+			if len(reqs) > 0 {
+				rehomeUsers(mask, cfg.Graph, homes, reqs)
+			}
+		}
+	}
+	return s, nil
+}
+
+// ReplayConfig maps a simulator configuration onto the daemon's replay mode:
+// re-plan every epoch with the same algorithm, react with the same fault
+// policy, route with the same per-epoch seeds. A daemon built from this
+// config and fed EventStream(cfg) reproduces Run(cfg, algo) bitwise.
+//
+// Note algo is stateful for some algorithms (SoCLOnline): build a fresh one
+// per daemon, exactly as for a fresh Run.
+func ReplayConfig(cfg Config, algo Algorithm) serve.Config {
+	pol := policyFor(cfg.Policy, algo)
+	if cfg.Faults == nil {
+		// A mask-free Run never enters the policy branch; the pristine-mask
+		// equivalent is PolicyNone (serve the plan as-is).
+		pol = serve.NonePolicy{}
+	}
+	return serve.Config{
+		Graph:       cfg.Graph,
+		Catalog:     cfg.Catalog,
+		Lambda:      cfg.Lambda,
+		Budget:      cfg.Budget,
+		Cloud:       cfg.Cloud,
+		Mode:        algo.Routing(),
+		RouteSeed:   stats.SplitSeed(cfg.Seed, "sim/route"),
+		Planner:     algo.Place,
+		PlannerName: algo.Name(),
+		Repair:      cfg.Repair,
+		Policy:      pol,
+		Replan:      true,
+	}
+}
+
+// CompareReplay checks a daemon replay against a batch Run bitwise: every
+// shared evaluation column of every slot, and the full latency stream. The
+// first mismatch is returned (nil means bitwise equal). Rehomed is excluded
+// by design — the simulator counts moved users, the daemon moved requests.
+func CompareReplay(res *Result, rr *serve.RunResult) error {
+	if len(res.Slots) != len(rr.Records) {
+		return fmt.Errorf("slot count: sim %d, daemon %d", len(res.Slots), len(rr.Records))
+	}
+	for i := range res.Slots {
+		s, d := res.Slots[i], rr.Records[i]
+		if err := func() error {
+			switch {
+			case s.Requests != d.Requests:
+				return fmt.Errorf("requests %d != %d", s.Requests, d.Requests)
+			case !bitEq(s.Cost, d.Cost):
+				return fmt.Errorf("cost %v != %v", s.Cost, d.Cost)
+			case !bitEq(s.Objective, d.Objective):
+				return fmt.Errorf("objective %v != %v", s.Objective, d.Objective)
+			case !bitEq(s.ServedObjective, d.ServedObjective):
+				return fmt.Errorf("served objective %v != %v", s.ServedObjective, d.ServedObjective)
+			case !bitEq(s.AvgDelay, d.AvgDelay):
+				return fmt.Errorf("avg delay %v != %v", s.AvgDelay, d.AvgDelay)
+			case !bitEq(s.MaxDelay, d.MaxDelay):
+				return fmt.Errorf("max delay %v != %v", s.MaxDelay, d.MaxDelay)
+			case s.Missing != d.Missing:
+				return fmt.Errorf("missing %d != %d", s.Missing, d.Missing)
+			case s.Unroutable != d.Unroutable:
+				return fmt.Errorf("unroutable %d != %d", s.Unroutable, d.Unroutable)
+			case s.CloudServed != d.CloudServed:
+				return fmt.Errorf("cloud-served %d != %d", s.CloudServed, d.CloudServed)
+			case s.Degraded != d.Degraded:
+				return fmt.Errorf("degraded %d != %d", s.Degraded, d.Degraded)
+			case s.FaultEvents != d.FaultEvents:
+				return fmt.Errorf("fault events %d != %d", s.FaultEvents, d.FaultEvents)
+			case s.DownNodes != d.DownNodes:
+				return fmt.Errorf("down nodes %d != %d", s.DownNodes, d.DownNodes)
+			case s.RepairAdds != d.Adds:
+				return fmt.Errorf("repair adds %d != %d", s.RepairAdds, d.Adds)
+			case s.RepairEvict != d.Evicts:
+				return fmt.Errorf("repair evicts %d != %d", s.RepairEvict, d.Evicts)
+			}
+			return nil
+		}(); err != nil {
+			return fmt.Errorf("slot %d: %w", i, err)
+		}
+	}
+	if len(res.AllDelays) != len(rr.AllDelays) {
+		return fmt.Errorf("delay stream length: sim %d, daemon %d", len(res.AllDelays), len(rr.AllDelays))
+	}
+	for i := range res.AllDelays {
+		if !bitEq(res.AllDelays[i], rr.AllDelays[i]) {
+			return fmt.Errorf("delay %d: sim %v, daemon %v", i, res.AllDelays[i], rr.AllDelays[i])
+		}
+	}
+	return nil
+}
+
+// bitEq compares floats for bitwise equality (NaN-safe, unlike ==).
+func bitEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

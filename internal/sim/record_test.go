@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// replayOnce pins the tentpole acceptance criterion: a scripted event-stream
+// run through the daemon is bitwise identical to the batch Run it records.
+// algoA serves the batch run, algoB the daemon — stateful algorithms need a
+// fresh one each.
+func replayOnce(t *testing.T, cfg Config, algoA, algoB Algorithm) {
+	t.Helper()
+	res, err := Run(cfg, algoA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script, err := EventStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := serve.NewDaemon(ReplayConfig(cfg, algoB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := d.RunScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareReplay(res, rr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonReplayMatchesRun(t *testing.T) {
+	for _, pol := range []FaultPolicy{PolicyNone, PolicyRepair, PolicyResolve} {
+		t.Run(pol.String(), func(t *testing.T) {
+			replayOnce(t, faultConfig(t, 51, pol), JDR{}, JDR{})
+		})
+	}
+}
+
+// TestDaemonReplayNoFaults: without a fault schedule the daemon's pristine
+// mask must reproduce the simulator's mask-free fast path bitwise.
+func TestDaemonReplayNoFaults(t *testing.T) {
+	g, cat := testSetup(8, 52)
+	cfg := shortConfig(g, cat, 10, 52)
+	replayOnce(t, cfg, JDR{}, JDR{})
+}
+
+// TestDaemonReplayOnlineRepair exercises the repairDriver seam end to end:
+// the warm-started online solver both plans and repairs in the batch run and
+// in the daemon, and the two must still agree bitwise.
+func TestDaemonReplayOnlineRepair(t *testing.T) {
+	cfg := faultConfig(t, 53, PolicyRepair)
+	replayOnce(t, cfg, NewSoCLOnline(core.DefaultConfig()), NewSoCLOnline(core.DefaultConfig()))
+}
+
+// TestEventStreamRoundTrip: the script text format must survive a
+// write/parse/write cycle byte for byte — the daemon smoke test feeds scripts
+// through files.
+func TestEventStreamRoundTrip(t *testing.T) {
+	cfg := faultConfig(t, 54, PolicyRepair)
+	script, err := EventStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := serve.WriteScript(&buf, script); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	parsed, err := serve.ParseScript(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := serve.WriteScript(&buf2, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if first != buf2.String() {
+		t.Fatal("script text changed across a write/parse/write cycle")
+	}
+	// And the parsed script must drive a bitwise-equal replay.
+	res, err := Run(cfg, JDR{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := serve.NewDaemon(ReplayConfig(cfg, JDR{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := d.RunScript(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareReplay(res, rr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonServeDeterministic pins the serve-mode event loop: two daemons
+// with identical configs fed the identical script must agree bitwise on every
+// record column that is not wall-clock time.
+func TestDaemonServeDeterministic(t *testing.T) {
+	cfg := faultConfig(t, 55, PolicyRepair)
+	script, err := EventStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *serve.RunResult {
+		sc := ReplayConfig(cfg, NewSoCLOnline(core.DefaultConfig()))
+		sc.Replan = false
+		sc.Policy = nil // default AutoPolicy
+		sc.Lifecycle = serve.LifecycleConfig{IdleEpochs: 2, WarmPool: 1, ColdStartDelay: 0.5}
+		d, err := serve.NewDaemon(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := d.RunScript(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr
+	}
+	a, b := run(), run()
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts diverge: %d vs %d", len(a.Records), len(b.Records))
+	}
+	incremental, scaled := 0, 0
+	for i := range a.Records {
+		x, y := a.Records[i], b.Records[i]
+		x.PlanTime, x.ReactTime = 0, 0
+		y.PlanTime, y.ReactTime = 0, 0
+		if x != y {
+			t.Fatalf("epoch %d diverges between identical serve runs:\n%+v\n%+v", i, x, y)
+		}
+		if x.Incremental {
+			incremental++
+		}
+		scaled += x.ScaledToZero
+	}
+	if len(a.AllDelays) != len(b.AllDelays) {
+		t.Fatalf("delay streams diverge: %d vs %d", len(a.AllDelays), len(b.AllDelays))
+	}
+	for i := range a.AllDelays {
+		if math.Float64bits(a.AllDelays[i]) != math.Float64bits(b.AllDelays[i]) {
+			t.Fatalf("delay %d diverges: %v vs %v", i, a.AllDelays[i], b.AllDelays[i])
+		}
+	}
+	_ = incremental
+	if scaled == 0 {
+		t.Log("note: no instance ever scaled to zero in this scenario")
+	}
+}
+
+// TestFaultPolicyString: the table test for the out-of-range bugfix —
+// unknown values must not collapse to "none".
+func TestFaultPolicyString(t *testing.T) {
+	cases := []struct {
+		p    FaultPolicy
+		want string
+	}{
+		{PolicyNone, "none"},
+		{PolicyRepair, "repair"},
+		{PolicyResolve, "resolve"},
+		{FaultPolicy(3), "policy(3)"},
+		{FaultPolicy(-1), "policy(-1)"},
+		{FaultPolicy(42), "policy(42)"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("FaultPolicy(%d).String() = %q, want %q", int(tc.p), got, tc.want)
+		}
+	}
+}

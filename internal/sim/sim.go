@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/msvc"
 	"repro/internal/repair"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -384,46 +385,40 @@ func serveFaultySlot(cfg Config, algo Algorithm, mask *chaos.Mask, slot int,
 	}
 	seed := routeSeed(cfg, slot)
 
-	var ev *model.Evaluation
-	switch cfg.Policy {
-	case PolicyRepair:
-		rcfg := cfg.Repair
-		rcfg.Mode = algo.Routing()
-		rcfg.Seed = seed
-		t1 := time.Now()
-		rres := repair.Run(evalIn, mask, placement, rcfg)
-		rec.RepairTime = time.Since(t1)
-		rec.RepairAdds = len(rres.Added)
-		rec.RepairEvict = len(rres.Evicted)
-		ev = rres.After
-	case PolicyResolve:
-		mi := mask.Instance(evalIn)
-		t1 := time.Now()
-		p2, err := algo.Place(mi)
-		rec.RepairTime = time.Since(t1)
-		if err != nil {
-			return nil, fmt.Errorf("%s re-solve failed: %w", algo.Name(), err)
-		}
-		ev = mi.EvaluateRouted(p2, algo.Routing(), seed)
-	default: // PolicyNone: serve whatever survived.
-		masked, _ := mask.MaskPlacement(placement)
-		ev = mask.Instance(evalIn).EvaluateRouted(masked, algo.Routing(), seed)
+	// Dispatch through the shared policy layer (internal/serve): the daemon's
+	// event loop builds the same EpochContext, so the two paths cannot drift.
+	ctx := &serve.EpochContext{
+		In:          evalIn,
+		Mask:        mask,
+		Planned:     placement,
+		Mode:        algo.Routing(),
+		Seed:        seed,
+		Repair:      cfg.Repair,
+		Resolve:     algo.Place,
+		PlannerName: algo.Name(),
 	}
+	out, err := policyFor(cfg.Policy, algo).Serve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rec.RepairTime = out.ReactTime
+	rec.RepairAdds = len(out.Added)
+	rec.RepairEvict = len(out.Evicted)
+	ev := out.Eval
 
 	// Degraded: edge-served requests slower than the no-fault reference —
 	// the planned placement on the pristine substrate with the same homes.
 	if !mask.Pristine() {
-		ref := evalIn.EvaluateRouted(placement, algo.Routing(), seed)
-		for h := range ev.Latencies {
-			if ev.Routes[h].Nodes == nil || math.IsInf(ev.Latencies[h], 1) {
-				continue
-			}
-			if ev.Latencies[h] > ref.Latencies[h]+model.FeasTol {
-				rec.Degraded++
-			}
-		}
+		rec.Degraded = serve.CountDegraded(evalIn, placement, ev, algo.Routing(), seed)
 	}
 	return ev, nil
+}
+
+// repairDriver lets an algorithm perform PolicyRepair's incremental round
+// itself, so stateful solvers can fold the repaired placement into their
+// warm state (core.OnlineSolver.Repair).
+type repairDriver interface {
+	RepairWith(in *model.Instance, m *chaos.Mask, p model.Placement, cfg repair.Config) (*repair.Result, error)
 }
 
 // makeSlotRequests draws this slot's requests: per user a Poisson number of

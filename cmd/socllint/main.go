@@ -1,39 +1,55 @@
-// Command socllint is the project's multichecker: it runs the five
+// Command socllint is the project's multichecker: it runs the nine
 // repo-specific analyzers from internal/analysis over the requested packages
 // and, unless -vet=false, chains the standard `go vet` passes behind them.
 //
 // Usage:
 //
 //	go run ./cmd/socllint ./...
-//	go run ./cmd/socllint -vet=false ./internal/combine ./internal/model
+//	go run ./cmd/socllint -json ./internal/ilp
+//	go run ./cmd/socllint -fix ./...
+//	go run ./cmd/socllint -update-baseline ./...
 //
-// Diagnostics print as file:line:col: [analyzer] message. Intentional
+// Diagnostics print as file:line:col: [analyzer] message, or as a JSON
+// object with -json. -fix applies the analyzers' suggested fixes (loop
+// variable shadowing, missing defer unlocks), refusing files with
+// overlapping edits, and reformats the touched files. Intentional
 // violations are suppressed with a reasoned directive on the offending line
 // or the line above:
 //
 //	//socllint:ignore <analyzer>[,<analyzer>] <reason>
 //
-// The process exits 1 when any diagnostic survives suppression (or go vet
-// fails), 0 otherwise.
+// Suppressed-diagnostic counts are ratcheted against the committed
+// socllint.baseline.json: a run whose per-analyzer suppression count
+// exceeds the baseline fails, and -update-baseline rewrites the file (use
+// it only to tighten, or alongside a reviewed new ignore). The process
+// exits 1 when any diagnostic survives suppression, the ratchet is
+// violated, a pattern matches no packages, or go vet fails; 0 otherwise.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"go/format"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/applyrevert"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/floateq"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockbalance"
+	"repro/internal/analysis/parclosure"
 	"repro/internal/analysis/placementmut"
 	"repro/internal/analysis/sentinelerr"
 	"repro/internal/analysis/snapshotpair"
+	"repro/internal/analysis/splitseed"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -42,11 +58,43 @@ var analyzers = []*analysis.Analyzer{
 	floateq.Analyzer,
 	sentinelerr.Analyzer,
 	detrand.Analyzer,
+	parclosure.Analyzer,
+	splitseed.Analyzer,
+	applyrevert.Analyzer,
+	lockbalance.Analyzer,
+}
+
+const baselineName = "socllint.baseline.json"
+
+// jsonDiag is one diagnostic in -json output.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable,omitempty"`
+}
+
+// baselineFile is the committed suppression ratchet.
+type baselineFile struct {
+	Comment    string         `json:"comment,omitempty"`
+	Suppressed map[string]int `json:"suppressed"`
+}
+
+// fixEdit is one text edit resolved to byte offsets in a file.
+type fixEdit struct {
+	start, end int
+	text       string
 }
 
 func main() {
 	vet := flag.Bool("vet", true, "also run `go vet` over the same patterns")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics and suppression counts as JSON")
+	fix := flag.Bool("fix", false, "apply suggested fixes and reformat the touched files")
+	baselinePath := flag.String("baseline", "", "suppression baseline file (default <module>/"+baselineName+")")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the suppression baseline from this run")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
@@ -65,11 +113,20 @@ func main() {
 	}
 	dirs, err := expand(modDir, patterns)
 	if err != nil {
-		fatal(err)
+		// A pattern matching nothing is a misconfigured invocation (a moved
+		// package silently unlinted), not a crash: exit 1, not 2.
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *baselinePath == "" {
+		*baselinePath = filepath.Join(modDir, baselineName)
 	}
 
+	// Load every requested package first: LoadDir populates directives and
+	// function summaries as a side effect, so by the time analyzers run, the
+	// fact tables cover everything they can reach.
 	loader := load.New(load.Config{ModulePath: modPath, ModuleDir: modDir})
-	exit := 0
+	pkgs := make([]*load.Package, 0, len(dirs))
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(modDir, dir)
 		if err != nil {
@@ -83,26 +140,87 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("socllint: %w", err))
 		}
-		diags, err := analysis.Run(pkg.Target(), analyzers, loader.FuncDirectives)
+		pkgs = append(pkgs, pkg)
+	}
+
+	exit := 0
+	var diags []jsonDiag
+	fixes := map[string][]fixEdit{} // file -> edits
+	suppressed := map[string]int{}
+	for _, pkg := range pkgs {
+		res, err := analysis.Run(pkg.Target(), analyzers, loader.Facts())
 		if err != nil {
-			fatal(fmt.Errorf("socllint: %s: %w", importPath, err))
+			fatal(fmt.Errorf("socllint: %s: %w", pkg.ImportPath, err))
 		}
-		for _, d := range diags {
+		for name, n := range res.Suppressed {
+			suppressed[name] += n
+		}
+		for _, d := range res.Diagnostics {
 			pos := d.Position(loader.Fset())
 			file := pos.Filename
 			if r, err := filepath.Rel(modDir, file); err == nil {
 				file = r
 			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+			diags = append(diags, jsonDiag{
+				File: file, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+				Fixable: len(d.SuggestedFixes) > 0,
+			})
 			exit = 1
+			if *fix {
+				for _, sf := range d.SuggestedFixes {
+					for _, te := range sf.TextEdits {
+						start := loader.Fset().Position(te.Pos)
+						end := loader.Fset().Position(te.End)
+						fixes[start.Filename] = append(fixes[start.Filename],
+							fixEdit{start: start.Offset, end: end.Offset, text: te.NewText})
+					}
+				}
+			}
 		}
+	}
+
+	if *fix {
+		if err := applyFixes(fixes, modDir); err != nil {
+			fatal(fmt.Errorf("socllint: %w", err))
+		}
+	}
+
+	fullRun := len(patterns) == 1 && patterns[0] == "./..."
+	ratchetErrs := checkBaseline(*baselinePath, suppressed, *updateBaseline, fullRun)
+	if len(ratchetErrs) > 0 {
+		exit = 1
+	}
+
+	if *jsonOut {
+		out := struct {
+			Diagnostics []jsonDiag     `json:"diagnostics"`
+			Suppressed  map[string]int `json:"suppressed"`
+			Ratchet     []string       `json:"ratchet,omitempty"`
+		}{Diagnostics: diags, Suppressed: suppressed, Ratchet: ratchetErrs}
+		if out.Diagnostics == nil {
+			out.Diagnostics = []jsonDiag{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
+		for _, msg := range ratchetErrs {
+			fmt.Fprintln(os.Stderr, "socllint: "+msg)
+		}
+		fmt.Printf("socllint: %d package(s), %d diagnostic(s), suppressed: %s\n",
+			len(pkgs), len(diags), formatCounts(suppressed))
 	}
 
 	if *vet {
 		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
-		cmd.Dir = "" // current directory, like the analyzers
 		if err := cmd.Run(); err != nil {
 			var exitErr *exec.ExitError
 			if !errors.As(err, &exitErr) {
@@ -112,6 +230,122 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// formatCounts renders per-analyzer suppression counts, sorted by name.
+func formatCounts(m map[string]int) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, m[name]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// checkBaseline enforces (or rewrites) the suppression ratchet and returns
+// violation messages. The exceed check always runs (a subset's counts are a
+// lower bound on the full run's, so it can only under-report, never
+// false-fail); the can-tighten hint only makes sense for a full ./... run.
+func checkBaseline(path string, suppressed map[string]int, update, fullRun bool) []string {
+	if update {
+		bl := baselineFile{
+			Comment:    "suppression ratchet: per-analyzer //socllint:ignore counts may only go down; rewrite with -update-baseline",
+			Suppressed: suppressed,
+		}
+		data, err := json.MarshalIndent(bl, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fatal(fmt.Errorf("socllint: writing baseline: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "socllint: baseline updated: %s\n", path)
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "socllint: no baseline at %s; run -update-baseline to start the ratchet\n", path)
+			return nil
+		}
+		fatal(fmt.Errorf("socllint: reading baseline: %w", err))
+	}
+	var bl baselineFile
+	if err := json.Unmarshal(data, &bl); err != nil {
+		fatal(fmt.Errorf("socllint: parsing %s: %w", path, err))
+	}
+	var errs []string
+	for name, n := range suppressed {
+		if n > bl.Suppressed[name] {
+			errs = append(errs, fmt.Sprintf(
+				"ratchet: %d suppressed %s diagnostics exceed the baseline %d; remove an ignore, or update the baseline alongside the reviewed new one",
+				n, name, bl.Suppressed[name]))
+		}
+	}
+	sort.Strings(errs)
+	for name, base := range bl.Suppressed {
+		if cur := suppressed[name]; fullRun && cur < base {
+			fmt.Fprintf(os.Stderr,
+				"socllint: ratchet can tighten: %s suppressions dropped %d -> %d; run -update-baseline\n",
+				name, base, cur)
+		}
+	}
+	return errs
+}
+
+// applyFixes applies the collected suggested fixes file by file, refusing
+// files whose edits overlap, and reformats the result.
+func applyFixes(fixes map[string][]fixEdit, modDir string) error {
+	files := make([]string, 0, len(fixes))
+	for f := range fixes {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := fixes[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return fmt.Errorf("%s: overlapping suggested fixes at offsets %d and %d; apply one and re-run",
+					file, edits[i-1].start, edits[i].start)
+			}
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		var b strings.Builder
+		last := 0
+		for _, e := range edits {
+			if e.start < last || e.end > len(src) {
+				return fmt.Errorf("%s: suggested fix out of range", file)
+			}
+			b.Write(src[last:e.start])
+			b.WriteString(e.text)
+			last = e.end
+		}
+		b.Write(src[last:])
+		formatted, err := format.Source([]byte(b.String()))
+		if err != nil {
+			return fmt.Errorf("%s: fixed source does not format: %w", file, err)
+		}
+		if err := os.WriteFile(file, formatted, 0o644); err != nil {
+			return err
+		}
+		rel := file
+		if r, err := filepath.Rel(modDir, file); err == nil {
+			rel = r
+		}
+		fmt.Fprintf(os.Stderr, "socllint: fixed %s (%d edit(s))\n", rel, len(edits))
+	}
+	return nil
 }
 
 func fatal(err error) {
@@ -150,53 +384,66 @@ func findModule() (dir, path string, err error) {
 
 // expand resolves package patterns to package directories. A trailing /...
 // walks recursively; testdata, vendor, and dot-directories are skipped, as
-// are directories without non-test Go files.
+// are directories without non-test Go files. A pattern matching no package
+// directory is an error: it means a moved or renamed tree is silently
+// escaping the lint.
 func expand(modDir string, patterns []string) ([]string, error) {
 	seen := map[string]bool{}
 	var out []string
-	add := func(dir string) {
+	add := func(dir string) bool {
 		abs, err := filepath.Abs(dir)
 		if err != nil {
-			return
+			return false
 		}
-		if !seen[abs] && hasBuildableGo(abs) {
-			seen[abs] = true
-			out = append(out, abs)
+		if seen[abs] {
+			return true
 		}
+		if !hasBuildableGo(abs) {
+			return false
+		}
+		seen[abs] = true
+		out = append(out, abs)
+		return true
 	}
 	for _, pat := range patterns {
+		matched := false
 		recursive := false
-		if strings.HasSuffix(pat, "/...") {
+		dir := pat
+		if strings.HasSuffix(dir, "/...") {
 			recursive = true
-			pat = strings.TrimSuffix(pat, "/...")
+			dir = strings.TrimSuffix(dir, "/...")
 		}
-		if pat == "" || pat == "." {
-			pat = "."
+		if dir == "" || dir == "." {
+			dir = "."
 		}
-		root := pat
-		if !filepath.IsAbs(root) {
-			root = filepath.Clean(root)
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Clean(dir)
 		}
 		if !recursive {
-			add(root)
-			continue
-		}
-		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
+			matched = add(dir)
+		} else {
+			err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if add(p) {
+					matched = true
+				}
 				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("socllint: expanding %s: %w", pat, err)
 			}
-			name := d.Name()
-			if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return filepath.SkipDir
-			}
-			add(p)
-			return nil
-		})
-		if err != nil {
-			return nil, err
+		}
+		if !matched {
+			return nil, fmt.Errorf("socllint: pattern %s matches no package directories", pat)
 		}
 	}
 	return out, nil

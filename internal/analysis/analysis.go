@@ -46,8 +46,20 @@ type Pass struct {
 	// annotation-driven contracts on callees declared in other packages.
 	FuncDirectives map[types.Object][]string
 
+	// Summaries maps function/method objects (program-wide) to their
+	// cross-function dataflow summaries; see FuncSummary. Nil entries mean
+	// "opaque" (stdlib, or never loaded).
+	Summaries map[types.Object]*FuncSummary
+
 	// Report delivers one diagnostic. The runner installs it.
 	Report func(Diagnostic)
+}
+
+// Facts bundles the program-wide side tables the loader accumulates across
+// packages; Run hands them to every pass.
+type Facts struct {
+	FuncDirectives map[types.Object][]string
+	Summaries      map[types.Object]*FuncSummary
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -76,6 +88,23 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // filled by the runner
+
+	// SuggestedFixes optionally carries mechanical repairs for the finding;
+	// socllint -fix applies them (refusing on overlapping edits).
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained repair: apply all of its edits or none.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. Pos == End
+// inserts.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 // Position resolves the diagnostic's file position under fset.
@@ -162,12 +191,24 @@ type Target struct {
 	TypesInfo *types.Info
 }
 
+// Result is one package's outcome: the diagnostics that survived
+// suppression, plus the per-analyzer count of diagnostics a reasoned
+// //socllint:ignore directive swallowed (the ratchet input).
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  map[string]int
+}
+
 // Run executes every analyzer over one package, applying suppression
-// directives, and returns the surviving diagnostics sorted by position.
-// funcDirectives may be nil.
-func Run(t *Target, analyzers []*Analyzer, funcDirectives map[types.Object][]string) ([]Diagnostic, error) {
-	var out []Diagnostic
-	ignore := buildIgnoreIndex(t.Fset, t.Files, func(d Diagnostic) { out = append(out, d) })
+// directives, and returns the surviving diagnostics sorted by position along
+// with the suppressed-per-analyzer counts. facts may be nil.
+func Run(t *Target, analyzers []*Analyzer, facts *Facts) (*Result, error) {
+	if facts == nil {
+		facts = &Facts{}
+	}
+	res := &Result{Suppressed: map[string]int{}}
+	out := &res.Diagnostics
+	ignore := buildIgnoreIndex(t.Fset, t.Files, func(d Diagnostic) { *out = append(*out, d) })
 	for _, a := range analyzers {
 		var raw []Diagnostic
 		pass := &Pass{
@@ -176,22 +217,24 @@ func Run(t *Target, analyzers []*Analyzer, funcDirectives map[types.Object][]str
 			Files:          t.Files,
 			Pkg:            t.Pkg,
 			TypesInfo:      t.TypesInfo,
-			FuncDirectives: funcDirectives,
+			FuncDirectives: facts.FuncDirectives,
+			Summaries:      facts.Summaries,
 			Report:         func(d Diagnostic) { raw = append(raw, d) },
 		}
 		if _, err := a.Run(pass); err != nil {
-			return out, fmt.Errorf("%s: %w", a.Name, err)
+			return res, fmt.Errorf("%s: %w", a.Name, err)
 		}
 		for _, d := range raw {
 			d.Analyzer = a.Name
 			if ignore.suppressed(a.Name, t.Fset.Position(d.Pos)) {
+				res.Suppressed[a.Name]++
 				continue
 			}
-			out = append(out, d)
+			*out = append(*out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		pi, pj := t.Fset.Position(out[i].Pos), t.Fset.Position(out[j].Pos)
+	sort.Slice(*out, func(i, j int) bool {
+		pi, pj := t.Fset.Position((*out)[i].Pos), t.Fset.Position((*out)[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -201,7 +244,7 @@ func Run(t *Target, analyzers []*Analyzer, funcDirectives map[types.Object][]str
 		if pi.Column != pj.Column {
 			return pi.Column < pj.Column
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		return (*out)[i].Analyzer < (*out)[j].Analyzer
 	})
-	return out, nil
+	return res, nil
 }

@@ -47,11 +47,11 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", pkg, err)
 		}
-		diags, err := analysis.Run(p.Target(), []*analysis.Analyzer{a}, loader.FuncDirectives)
+		res, err := analysis.Run(p.Target(), []*analysis.Analyzer{a}, loader.Facts())
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
 		}
-		checkPackage(t, p, diags)
+		checkPackage(t, p, res.Diagnostics)
 	}
 }
 

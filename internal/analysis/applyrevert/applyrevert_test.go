@@ -1,0 +1,12 @@
+package applyrevert_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/applyrevert"
+)
+
+func TestApplyRevert(t *testing.T) {
+	analysistest.Run(t, "testdata", applyrevert.Analyzer, "delta")
+}

@@ -1,0 +1,139 @@
+// Package delta exercises applyrevert with a double of model's
+// DeltaEvaluator: Apply returns an undo record that Revert consumes, and
+// AdvanceTo rebinds the evaluator's epoch.
+package delta
+
+// Delta is the undo record.
+type Delta struct{ svc, node int }
+
+// Evaluation is an Eval result.
+type Evaluation struct{ Obj float64 }
+
+// Evaluator mirrors model.DeltaEvaluator's probe surface.
+type Evaluator struct{ epoch int }
+
+// Apply probes a move and returns its undo record.
+func (e *Evaluator) Apply(svc, node int, val bool) *Delta {
+	e.epoch++
+	return &Delta{svc, node}
+}
+
+// Revert rolls a probe back.
+func (e *Evaluator) Revert(dl *Delta) { e.epoch++ }
+
+// AdvanceTo rebinds the evaluator to a new placement, invalidating all
+// outstanding deltas.
+func (e *Evaluator) AdvanceTo(p []int) int { e.epoch++; return 0 }
+
+// Eval scores the current binding.
+func (e *Evaluator) Eval() *Evaluation { return &Evaluation{} }
+
+// goodProbe is the probe-and-roll-back discipline.
+func goodProbe(e *Evaluator) float64 {
+	dl := e.Apply(1, 2, true)
+	ev := e.Eval()
+	e.Revert(dl)
+	return ev.Obj
+}
+
+// cleanCommit discards the undo record on purpose — the commit idiom the
+// repair heuristics use once a move is accepted.
+func cleanCommit(e *Evaluator) {
+	e.Apply(1, 2, true)
+}
+
+// goodReturned hands the undo record to the caller, who owns the revert.
+func goodReturned(e *Evaluator) *Delta {
+	dl := e.Apply(1, 2, true)
+	return dl
+}
+
+// goodAdvance reverts before rebinding; the positional stale check must not
+// fire.
+func goodAdvance(e *Evaluator, p []int) {
+	dl := e.Apply(1, 2, true)
+	e.Revert(dl)
+	e.AdvanceTo(p)
+}
+
+// badNeverReverted binds the undo record and then drops it.
+func badNeverReverted(e *Evaluator) {
+	dl := e.Apply(1, 2, true) // want "no Revert appears in this function"
+	_ = dl
+}
+
+// badEarlyExit bails out of the probe loop while the evaluator still holds
+// the probe state.
+func badEarlyExit(e *Evaluator, xs []int) float64 {
+	for _, x := range xs {
+		dl := e.Apply(x, 0, true)
+		if x < 0 {
+			return -1 // want "branch exits between Apply and Revert"
+		}
+		e.Revert(dl)
+	}
+	return 0
+}
+
+// badEvalUnbalanced scores the evaluator on the exit path before reverting —
+// the evaluation sees the probed placement.
+func badEvalUnbalanced(e *Evaluator, xs []int) float64 {
+	for _, x := range xs {
+		dl := e.Apply(x, 0, true)
+		if x < 0 {
+			ev := e.Eval() // want "Eval on an unbalanced evaluator"
+			return ev.Obj
+		}
+		e.Revert(dl)
+	}
+	return 0
+}
+
+// badStale reverts a delta recorded before AdvanceTo rebound the epoch.
+func badStale(e *Evaluator, p []int) {
+	dl := e.Apply(1, 2, true)
+	e.AdvanceTo(p)
+	e.Revert(dl) // want "undo record is stale"
+}
+
+// goodBalancedThenLoop mirrors DeltaEvaluator.ProbeRemoval: the probe pair
+// completes (and returns) inside one branch, and a later loop with continue
+// exits runs only on the unprobed path — nothing there is unbalanced.
+func goodBalancedThenLoop(e *Evaluator, xs []int) float64 {
+	if len(xs) == 1 {
+		dl := e.Apply(xs[0], 0, true)
+		ev := e.Eval()
+		e.Revert(dl)
+		return ev.Obj
+	}
+	total := 0.0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		total += float64(x)
+	}
+	return total
+}
+
+// suppressedLeak is an intentionally unbalanced probe, documented.
+func suppressedLeak(e *Evaluator) {
+	//socllint:ignore applyrevert fixture: probe intentionally left applied
+	dl := e.Apply(3, 4, true)
+	_ = dl
+}
+
+// Mask mirrors chaos.Mask: an Apply with no undo-token handshake (it
+// returns error, and there is no Revert), so the analyzer ignores it.
+type Mask struct{}
+
+// Apply applies the mask.
+func (m *Mask) Apply(x int) error { return nil }
+
+// cleanMask must not be tracked at all.
+func cleanMask(m *Mask) error {
+	if err := m.Apply(1); err != nil {
+		return err
+	}
+	return nil
+}

@@ -73,6 +73,13 @@ type Loader struct {
 	// FuncDirectives accumulates directives across every loaded package, for
 	// analysis passes that need cross-package callee annotations.
 	FuncDirectives map[types.Object][]string
+
+	// Summaries accumulates cross-function dataflow summaries
+	// (analysis.FuncSummary) across every loaded package. Imports type-check
+	// before their importers, so by the time a package is summarized every
+	// callee it can reach already has an entry — the bottom-up order the
+	// summary pass needs.
+	Summaries map[types.Object]*analysis.FuncSummary
 }
 
 // New returns a Loader over cfg.
@@ -88,11 +95,17 @@ func New(cfg Config) *Loader {
 		stdlib:         map[string]*types.Package{},
 		ctxt:           ctxt,
 		FuncDirectives: map[types.Object][]string{},
+		Summaries:      map[types.Object]*analysis.FuncSummary{},
 	}
 }
 
 // Fset returns the shared FileSet.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Facts bundles the program-wide side tables for analysis.Run.
+func (l *Loader) Facts() *analysis.Facts {
+	return &analysis.Facts{FuncDirectives: l.FuncDirectives, Summaries: l.Summaries}
+}
 
 // resolveDir maps an import path to a directory, or "" when the path is not a
 // fixture or module package (i.e. stdlib).
@@ -186,6 +199,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		FuncDirectives: map[types.Object][]string{},
 	}
 	l.collectDirectives(p)
+	analysis.Summarize(info, files, l.Summaries)
 	l.pkgs[importPath] = p
 	return p, nil
 }

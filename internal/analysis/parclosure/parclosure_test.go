@@ -1,0 +1,12 @@
+package parclosure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/parclosure"
+)
+
+func TestParClosure(t *testing.T) {
+	analysistest.Run(t, "testdata", parclosure.Analyzer, "par")
+}

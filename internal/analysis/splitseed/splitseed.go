@@ -1,0 +1,227 @@
+// Package splitseed enforces the seed-splitting discipline that makes the
+// repo's parallel code bitwise-replayable: RNG state must never cross a
+// goroutine boundary, and any generator created inside concurrent code must
+// derive its seed from stats.SplitSeed — a pure function of the root seed
+// and a stream label, never of scheduling order (the contract the sweep
+// executor documents in internal/experiments/sweep.go).
+//
+// In every function that spawns goroutines (directly, or via a callee the
+// summary pass knows spawns them), the analyzer reports:
+//
+//   - a *rand.Rand declared outside a spawned closure but used inside it —
+//     a shared generator's draw order depends on the schedule, so two runs
+//     diverge silently (and *rand.Rand is not goroutine-safe to begin with);
+//   - a *rand.Rand passed as an argument in a go statement, or to a
+//     goroutine-spawning callee — the same sharing one call away;
+//   - a generator constructed inside a spawned closure (stats.NewRand,
+//     rand.New) whose seed is not derived from SplitSeed. Derivation is
+//     traced through locals, arithmetic, conversions, and calls to functions
+//     whose summary marks their return SplitSeed-derived; closure parameters
+//     count as derived (the spawn site is responsible for what it passes
+//     in, and that site is checked in its own function).
+//
+// Intentional sites carry a reasoned //socllint:ignore splitseed directive.
+package splitseed
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the splitseed pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "splitseed",
+	Doc:  "flags *rand.Rand values crossing goroutine boundaries and in-goroutine generators not derived from SplitSeed",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	regions := analysis.SpawnedRegions(pass.TypesInfo, pass.Summaries, fd.Body)
+	for _, region := range regions {
+		checkRegion(pass, region)
+	}
+	checkSpawnArgs(pass, fd)
+}
+
+// checkRegion flags shared generators used inside one spawned closure and
+// un-derived generators created there.
+func checkRegion(pass *analysis.Pass, region analysis.Region) {
+	lit := region.Lit
+	local := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+	}
+
+	// Closure parameters are derived by contract: the spawn site chooses what
+	// to pass and is checked in its own function.
+	params := map[types.Object]bool{}
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	derived := derivedInRegion(pass, lit, params)
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil || local(obj) {
+				return true
+			}
+			if analysis.IsRandType(obj.Type()) {
+				pass.Reportf(n.Pos(),
+					"*rand.Rand %s is shared across a goroutine boundary; derive a per-task generator inside the closure with stats.SplitSeed", n.Name)
+			}
+		case *ast.CallExpr:
+			if !isRandConstructor(pass, n) {
+				return true
+			}
+			if len(n.Args) == 1 && !isDerivedSeed(pass, n.Args[0], derived, params) {
+				pass.Reportf(n.Pos(),
+					"generator created inside a goroutine closure without a SplitSeed-derived seed; results depend on scheduling order — use stats.SplitSeed(seed, label)")
+			}
+		}
+		return true
+	})
+}
+
+// checkSpawnArgs flags *rand.Rand arguments handed to goroutines or to
+// goroutine-spawning callees anywhere in the function.
+func checkSpawnArgs(pass *analysis.Pass, fd *ast.FuncDecl) {
+	flagArgs := func(call *ast.CallExpr, how string) {
+		for _, arg := range call.Args {
+			t := pass.TypeOf(arg)
+			if t != nil && analysis.IsRandType(t) {
+				pass.Reportf(arg.Pos(),
+					"*rand.Rand passed %s shares one generator across goroutines; pass a SplitSeed-derived seed instead", how)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			flagArgs(n.Call, "to a go statement")
+		case *ast.CallExpr:
+			callee := analysis.CalleeFunc(pass.TypesInfo, n)
+			if sum := pass.Summaries[callee]; sum != nil && sum.Spawns {
+				flagArgs(n, "to goroutine-spawning "+callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isRandConstructor matches stats.NewRand (by name, so fixtures carry their
+// own stats package) and math/rand's rand.New.
+func isRandConstructor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	callee := analysis.CalleeFunc(pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	switch {
+	case callee.Name() == "NewRand":
+		return true
+	case callee.Name() == "New" &&
+		(callee.Pkg().Path() == "math/rand" || callee.Pkg().Path() == "math/rand/v2"):
+		return true
+	}
+	return false
+}
+
+// derivedInRegion collects region-local variables assigned SplitSeed-derived
+// values (two passes resolve simple forward chains).
+func derivedInRegion(pass *analysis.Pass, lit *ast.FuncLit, params map[types.Object]bool) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	for i := 0; i < 2; i++ {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for j, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if isDerivedSeed(pass, as.Rhs[j], derived, params) {
+					derived[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// isDerivedSeed reports whether a seed expression is SplitSeed-derived:
+// a SplitSeed call, a call whose callee summary says SplitDerived, a derived
+// local or closure parameter, or arithmetic/conversions over such values.
+// rand.NewSource(x) wrappers recurse into x.
+func isDerivedSeed(pass *analysis.Pass, e ast.Expr, derived, params map[types.Object]bool) bool {
+	merged := derived
+	if len(params) > 0 {
+		merged = make(map[types.Object]bool, len(derived)+len(params))
+		for k := range derived {
+			merged[k] = true
+		}
+		for k := range params {
+			merged[k] = true
+		}
+	}
+	return analysisDerived(pass, e, merged)
+}
+
+func analysisDerived(pass *analysis.Pass, e ast.Expr, derived map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return analysisDerived(pass, e.X, derived)
+	case *ast.UnaryExpr:
+		return analysisDerived(pass, e.X, derived)
+	case *ast.BinaryExpr:
+		return analysisDerived(pass, e.X, derived) || analysisDerived(pass, e.Y, derived)
+	case *ast.CallExpr:
+		if analysis.IsSplitSeedCall(pass.TypesInfo, e) {
+			return true
+		}
+		if sum := pass.Summaries[analysis.CalleeFunc(pass.TypesInfo, e)]; sum != nil && sum.SplitDerived {
+			return true
+		}
+		for _, arg := range e.Args {
+			if analysisDerived(pass, arg, derived) {
+				return true
+			}
+		}
+		return false
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && derived[obj]
+	default:
+		return false
+	}
+}

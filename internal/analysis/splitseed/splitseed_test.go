@@ -1,0 +1,12 @@
+package splitseed_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/splitseed"
+)
+
+func TestSplitSeed(t *testing.T) {
+	analysistest.Run(t, "testdata", splitseed.Analyzer, "seed")
+}

@@ -1,0 +1,18 @@
+// Package stats mirrors repro/internal/stats' RNG helpers for the splitseed
+// fixtures: NewRand constructs a generator, SplitSeed derives a child seed
+// from a root seed and a stream label.
+package stats
+
+import "math/rand"
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SplitSeed derives an independent child seed (FNV-style mix of the label).
+func SplitSeed(seed int64, label string) int64 {
+	h := uint64(seed) ^ 1469598103934665603
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 1099511628211
+	}
+	return int64(h)
+}

@@ -1,0 +1,114 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// probeAnalyzer reports one diagnostic, under the given name, at every call
+// to a function literally named "mark".
+func probeAnalyzer(name string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test probe",
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						pass.Reportf(call.Pos(), "%s finding", name)
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+func parseTarget(t *testing.T, src string) *analysis.Target {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &analysis.Target{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+// The fixture exercises every suppression rule: a multi-analyzer directive
+// on the line above, a same-line directive covering one analyzer only, a
+// directive too far above to reach, and a bare directive (no reason), which
+// is itself a diagnostic. Line numbers are load-bearing.
+const suppressSrc = `package p
+
+func mark() {}
+
+func f() {
+	//socllint:ignore aaa,bbb both analyzers are intentionally quiet here
+	mark()
+	mark() //socllint:ignore aaa same-line directive covers aaa only
+
+	//socllint:ignore aaa a directive two lines above the site does not reach
+
+	mark()
+
+	//socllint:ignore aaa
+	mark()
+}
+`
+
+func TestSuppression(t *testing.T) {
+	target := parseTarget(t, suppressSrc)
+	res, err := analysis.Run(target,
+		[]*analysis.Analyzer{probeAnalyzer("aaa"), probeAnalyzer("bbb")}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	var got []string
+	for _, d := range res.Diagnostics {
+		got = append(got, fmt.Sprintf("%d:%s", d.Position(target.Fset).Line, d.Analyzer))
+	}
+	want := []string{
+		"8:bbb",       // same-line directive names aaa only
+		"12:aaa",      // directive two lines above is out of range
+		"12:bbb",      //
+		"14:socllint", // bare directive: no reason, reported itself
+		"15:aaa",      // the bare directive suppresses nothing
+		"15:bbb",      //
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic[%d] = %s, want %s (all: %v)", i, got[i], want[i], got)
+		}
+	}
+
+	if n := res.Suppressed["aaa"]; n != 2 {
+		t.Errorf("suppressed[aaa] = %d, want 2 (line-above multi + same-line)", n)
+	}
+	if n := res.Suppressed["bbb"]; n != 1 {
+		t.Errorf("suppressed[bbb] = %d, want 1 (line-above multi only)", n)
+	}
+}

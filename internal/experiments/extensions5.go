@@ -71,11 +71,29 @@ func ExtFaults(opts Options) *Table {
 			"0", "0.0", "0.0", "0.0", "0.0", "1", "0.000", baseErr.Error())
 	}
 	numSlots := int(duration / mk().SlotMinutes)
+
+	// The sweep axis: independent failures at increasing rates, then the two
+	// structured regimes from chaos — correlated domain crashes ("corr") and
+	// fast flapping ("flap") — which stress repair along orthogonal axes
+	// (burst width vs churn frequency) that no independent rate reproduces.
+	type faultCase struct {
+		label string
+		cfg   chaos.ScheduleConfig
+	}
+	var cases []faultCase
 	for _, rate := range rates {
 		scfg := chaos.DefaultScheduleConfig()
 		scfg.NodeFailProb = rate
 		scfg.LinkFailProb = rate
 		scfg.StorageShrinkProb = rate / 2
+		cases = append(cases, faultCase{f3(rate), scfg})
+	}
+	cases = append(cases,
+		faultCase{"corr", chaos.CorrelatedScheduleConfig()},
+		faultCase{"flap", chaos.FlappingScheduleConfig()})
+
+	for _, fc := range cases {
+		scfg := fc.cfg
 		scfg.MinNodesUp = nodes / 2
 		sched := chaos.Generate(g, numSlots, scfg, opts.Seed)
 		for _, pol := range []sim.FaultPolicy{sim.PolicyNone, sim.PolicyRepair, sim.PolicyResolve} {
@@ -85,7 +103,7 @@ func ExtFaults(opts Options) *Table {
 			res, err := sim.Run(cfg, algo)
 			if res == nil {
 				// Configuration-level failure: no slot ever ran.
-				t.AddRow(f3(rate), pol.String(), "0", "0", "0.000", "0",
+				t.AddRow(fc.label, pol.String(), "0", "0", "0.000", "0",
 					"0.0", "0.0", "0.0", "0.0", "+Inf", "0.000", err.Error())
 				continue
 			}
@@ -106,7 +124,7 @@ func ExtFaults(opts Options) *Table {
 			if err != nil {
 				errCol = err.Error() // the row reports the partial slots above
 			}
-			t.AddRow(f3(rate), pol.String(), itoa(reqs), itoa(res.TotalUnserved()),
+			t.AddRow(fc.label, pol.String(), itoa(reqs), itoa(res.TotalUnserved()),
 				f3(viol), itoa(res.TotalDegraded()), f1(res.MeanRecoverySlots()),
 				f1(res.RecoveryPercentile(50)), f1(res.RecoveryPercentile(95)),
 				f1(res.RecoveryPercentile(99)),

@@ -214,12 +214,24 @@ func TestExtCombineBenchShort(t *testing.T) {
 
 func TestExtFaultsShort(t *testing.T) {
 	tb := ExtFaults(shortOpts())
-	if len(tb.Rows) != 3 { // 1 rate × 3 policies in short mode
+	if len(tb.Rows) != 9 { // (1 rate + corr + flap presets) × 3 policies in short mode
 		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	labels := map[string]int{}
+	for i := range tb.Rows {
+		labels[cell(tb, i, "fail_rate")]++
+	}
+	for _, want := range []string{"corr", "flap"} {
+		if labels[want] != 3 {
+			t.Fatalf("preset %q rows = %d, want 3 (labels: %v)", want, labels[want], labels)
+		}
 	}
 	viol := map[string]float64{}
 	reqs := map[string]float64{}
 	for i := range tb.Rows {
+		if cell(tb, i, "fail_rate") != "0.150" {
+			continue // cross-policy invariants below are per-schedule
+		}
 		pol := cell(tb, i, "policy")
 		viol[pol] = cellF(t, tb, i, "viol_rate")
 		reqs[pol] = cellF(t, tb, i, "requests")

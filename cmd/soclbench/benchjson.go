@@ -68,6 +68,13 @@ func runBenchJSON(dir string, workers int) error {
 	optIn := benchJSONInstance(8, 10, 1)
 	ilpIn := benchJSONInstance(4, 4, 1)
 
+	// Sharded-combine smoke: one clustered instance solved per region and by
+	// the single-shard global reference, at the configured worker count.
+	shardedIn, shardedPlan := benchJSONClustered(4, 8, 240, 1)
+	shardedCfg := combine.DefaultShardedConfig()
+	shardedCfg.Workers = workers
+	shardedCfg.Seed = 1
+
 	// Fault-repair smoke: crash two hosting nodes, degrade a link, shrink a
 	// node, then measure the incremental repair against its full-re-solve-
 	// routing reference (identical decisions; see internal/repair).
@@ -110,6 +117,22 @@ func runBenchJSON(dir string, workers int) error {
 		{"Fig8Short", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				experiments.Fig8(fig8Opts)
+			}
+		}},
+		// Sharded vs global combine on the same clustered instance (the
+		// ext_scale comparison at smoke scale). The gap between the two is
+		// the per-shard table-build and routing saving; on a single-core
+		// runner it is purely algorithmic.
+		{"ShardedCombine", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustRunSharded(shardedIn, shardedPlan, shardedCfg)
+			}
+		}},
+		{"ShardedCombineGlobal", func(b *testing.B) {
+			cfg := shardedCfg
+			cfg.Naive = true
+			for i := 0; i < b.N; i++ {
+				mustRunSharded(shardedIn, shardedPlan, cfg)
 			}
 		}},
 		// Exact-solver stack (the Fig2/Fig7 OPT columns): naive serial
@@ -190,6 +213,37 @@ func runBenchJSON(dir string, workers int) error {
 	}
 	fmt.Fprintf(os.Stderr, "[wrote %s]\n", path)
 	return nil
+}
+
+// benchJSONClustered builds the sharded-combine smoke fixture: a clustered
+// substrate (unfinalized, as RunSharded expects) with a uniform no-deadline
+// workload and the region shard plan.
+func benchJSONClustered(regions, perRegion, users int, seed int64) (*model.Instance, *topology.ShardPlan) {
+	g, regionNodes := topology.Clustered(topology.DefaultClusterConfig(regions, perRegion), seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+	cfg := msvc.DefaultWorkloadConfig(users)
+	cfg.DeadlineSlack = 0
+	cfg.Hotspot = 0
+	w, err := msvc.GenerateWorkload(cat, g, cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	kappa := 0.0
+	for i := 0; i < cat.Len(); i++ {
+		kappa += cat.Service(i).DeployCost
+	}
+	in := &model.Instance{Graph: g, Workload: w, Lambda: 0.05, Budget: 1.5 * float64(regions) * kappa}
+	plan, err := topology.PlanShards(g, regionNodes)
+	if err != nil {
+		panic(err)
+	}
+	return in, plan
+}
+
+func mustRunSharded(in *model.Instance, plan *topology.ShardPlan, cfg combine.ShardedConfig) {
+	if _, err := combine.RunSharded(in, plan, cfg); err != nil {
+		panic(err)
+	}
 }
 
 func mustApplyFault(m *chaos.Mask, ev chaos.Event) {

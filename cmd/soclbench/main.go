@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig3 | fig4 | fig7 | fig8 | fig9 | fig10 | all | ext_budget | ext_lambda | ext_omega | ext_xi | ext_routing | ext_online | ext_decompose | ext_contention | ext_cloud | ext_cluster | ext_datasets | ext_combinebench | ext_faults | ext_serve | ext (all extensions)")
+		experiment = flag.String("experiment", "all", "fig2 | fig3 | fig4 | fig7 | fig8 | fig9 | fig10 | all | ext_budget | ext_lambda | ext_omega | ext_xi | ext_routing | ext_online | ext_decompose | ext_contention | ext_cloud | ext_cluster | ext_datasets | ext_combinebench | ext_faults | ext_serve | ext_scale | ext_coldstart | ext (all extensions)")
 		short      = flag.Bool("short", false, "reduced scales for a quick run")
 		seed       = flag.Int64("seed", 1, "root random seed")
 		out        = flag.String("out", "", "directory for CSV output (optional)")
@@ -28,6 +28,7 @@ func main() {
 		replot     = flag.String("replot", "", "re-render SVGs from existing CSVs in this directory (skips running experiments)")
 		optLimit   = flag.Duration("opt-limit", 0, "per-solve cap for the exact optimizer (default 30s, 3s with -short)")
 		workers    = flag.Int("workers", 0, "worker pool size for sweeps and the exact solver's branch-and-bound (0 = GOMAXPROCS, 1 = serial; tables are identical either way)")
+		shards     = flag.Int("shards", 0, "override the region count of the ext_scale clustered substrates (0 = per-point default)")
 		benchjson  = flag.String("benchjson", "", "run the smoke benchmark suite and write BENCH_<date>.json into this directory (skips experiments)")
 	)
 	flag.Parse()
@@ -53,7 +54,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[replotted %d charts into %s]\n", n, dst)
 		return
 	}
-	opts := experiments.Options{Short: *short, Seed: *seed, OutDir: *out, OptTimeLimit: *optLimit, Workers: *workers}
+	opts := experiments.Options{Short: *short, Seed: *seed, OutDir: *out, OptTimeLimit: *optLimit, Workers: *workers, Shards: *shards}
 	if err := run(*experiment, opts, *svg); err != nil {
 		fmt.Fprintln(os.Stderr, "soclbench:", err)
 		os.Exit(1)
@@ -113,6 +114,10 @@ func run(which string, opts experiments.Options, svgDir string) error {
 			add(experiments.ExtFaults(opts))
 		case "ext_serve":
 			add(experiments.ExtServe(opts))
+		case "ext_scale":
+			add(experiments.ExtScale(opts))
+		case "ext_coldstart":
+			add(experiments.ExtColdstart(opts))
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -128,7 +133,7 @@ func run(which string, opts experiments.Options, svgDir string) error {
 			}
 		}
 	case "ext":
-		for _, id := range []string{"ext_budget", "ext_lambda", "ext_omega", "ext_xi", "ext_routing", "ext_online", "ext_decompose", "ext_contention", "ext_cloud", "ext_cluster", "ext_datasets", "ext_combinebench", "ext_faults", "ext_serve"} {
+		for _, id := range []string{"ext_budget", "ext_lambda", "ext_omega", "ext_xi", "ext_routing", "ext_online", "ext_decompose", "ext_contention", "ext_cloud", "ext_cluster", "ext_datasets", "ext_combinebench", "ext_faults", "ext_serve", "ext_scale", "ext_coldstart"} {
 			if err := runOne(id); err != nil {
 				return err
 			}

@@ -40,6 +40,10 @@ type Options struct {
 	// and serial runs produce identical tables; see sweep.go and DESIGN.md §9
 	// for the two determinism contracts.
 	Workers int
+	// Shards, when positive, overrides the per-point region count of the
+	// ext_scale clustered substrates (the -shards flag). Zero keeps each
+	// sweep point's default.
+	Shards int
 }
 
 // DefaultOptions returns full-scale settings with seed 1.
@@ -150,6 +154,7 @@ func buildInstance(nodes, users int, budget float64, seed int64) *model.Instance
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func sec(d time.Duration) string {
 	return fmt.Sprintf("%.4f", d.Seconds())

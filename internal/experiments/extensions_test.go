@@ -276,3 +276,78 @@ func TestExtServeShort(t *testing.T) {
 		}
 	}
 }
+
+func TestExtScaleShort(t *testing.T) {
+	tb := ExtScale(shortOpts())
+	if len(tb.Rows) != 4 { // 2 sweep points × (sharded, global)
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if got := cell(tb, i, "err"); got != "" {
+			t.Fatalf("row %d err = %q", i, got)
+		}
+		if got := cellF(t, tb, i, "unserved"); got != 0 {
+			t.Fatalf("row %d unserved = %v", i, got)
+		}
+		switch path := cell(tb, i, "path"); path {
+		case "sharded":
+			if r := cellF(t, tb, i, "regret_x"); r <= 0 || r > 4 {
+				t.Fatalf("row %d regret_x = %v", i, r)
+			}
+			if s := cellF(t, tb, i, "shards"); s != 4 {
+				t.Fatalf("row %d shards = %v", i, s)
+			}
+		case "global":
+			if got := cell(tb, i, "regret_x"); got != "1.000" {
+				t.Fatalf("row %d global regret_x = %q", i, got)
+			}
+		default:
+			t.Fatalf("row %d unexpected path %q", i, path)
+		}
+	}
+}
+
+func TestExtScaleShardsOverride(t *testing.T) {
+	opts := shortOpts()
+	opts.Shards = 2
+	tb := ExtScale(opts)
+	for i := range tb.Rows {
+		if s := cellF(t, tb, i, "shards"); s != 2 {
+			t.Fatalf("row %d shards = %v with -shards=2", i, s)
+		}
+		if got := cell(tb, i, "err"); got != "" {
+			t.Fatalf("row %d err = %q", i, got)
+		}
+	}
+}
+
+func TestExtColdstartShort(t *testing.T) {
+	tb := ExtColdstart(shortOpts())
+	if len(tb.Rows) != 2 { // always-warm baseline + one lifecycle cell
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if got := cell(tb, i, "err"); got != "" {
+			t.Fatalf("row %d err = %q", i, got)
+		}
+		if cellF(t, tb, i, "requests") <= 0 {
+			t.Fatalf("row %d served no requests", i)
+		}
+	}
+	// The baseline row never scales to zero and never pays a cold start.
+	if cellF(t, tb, 0, "scale0") != 0 || cellF(t, tb, 0, "cold_steps") != 0 {
+		t.Fatalf("baseline row reports lifecycle activity: scale0=%v cold=%v",
+			cellF(t, tb, 0, "scale0"), cellF(t, tb, 0, "cold_steps"))
+	}
+	// The lifecycle row must actually exercise scale-to-zero: the carved
+	// demand troughs drain the warm sizer, instances are reclaimed, and the
+	// returning demand pays cold starts.
+	if cellF(t, tb, 1, "scale0") <= 0 || cellF(t, tb, 1, "cold_steps") <= 0 {
+		t.Fatalf("lifecycle row shows no scale-to-zero activity: scale0=%v cold=%v",
+			cellF(t, tb, 1, "scale0"), cellF(t, tb, 1, "cold_steps"))
+	}
+	// Both rows replay the same recorded stream.
+	if cellF(t, tb, 0, "requests") != cellF(t, tb, 1, "requests") {
+		t.Fatal("request streams diverge between rows")
+	}
+}

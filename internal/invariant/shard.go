@@ -1,0 +1,47 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// CheckShardMerge revalidates one shard's slice of a merged sharded
+// placement against the paper's feasibility system (Eq. 4–6), given the
+// shard sub-instance's evaluation of its restricted placement. It is called
+// at the merge boundaries of combine.RunSharded: after the per-shard solves
+// land in the global placement and again after boundary reconciliation.
+//
+// Eq. 6 (storage) is hard: the merge writes disjoint node columns, so any
+// per-node overflow is a sharding bug. Eq. 5 (budget) is checked only when
+// the shard claims budgetMet — per-shard budget floors (service continuity)
+// may legitimately exceed a shard's demand share. Eq. 4 (deadlines) is a
+// recount from the per-request latencies, as in CheckPostRepair; it is
+// skipped when the evaluation has unroutable requests, whose +Inf latencies
+// the evaluator counts against finite deadlines while Eq. 4 is vacuous for
+// them.
+func CheckShardMerge(in *model.Instance, ev *model.Evaluation, budgetMet bool, where string) {
+	if !Enabled {
+		return
+	}
+	if budgetMet {
+		CheckBudget(in, ev.Placement, where)
+	}
+	CheckStorage(in, ev.Placement, where)
+	if ev.Unroutable > 0 {
+		return
+	}
+	late := 0
+	for h := range in.Workload.Requests {
+		if ev.Routes[h].Nodes == nil && math.IsInf(ev.Latencies[h], 1) {
+			continue // missing instance: counted in MissingInstances, not Eq. 4
+		}
+		if ev.Latencies[h] > in.Workload.Requests[h].Deadline+model.FeasTol {
+			late++
+		}
+	}
+	if late != ev.DeadlineViolated {
+		panic(fmt.Sprintf("invariant: %s: %d deadline violations recounted from latencies, evaluation says %d (Eq. 4)", where, late, ev.DeadlineViolated))
+	}
+}

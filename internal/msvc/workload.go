@@ -75,19 +75,24 @@ func GenerateWorkload(cat *Catalog, g *topology.Graph, cfg WorkloadConfig, seed 
 	flows := cat.Flows()
 
 	// Pessimistic per-GB transfer estimate for deadline scaling: the worst
-	// finite pairwise path cost in the graph.
+	// finite pairwise path cost in the graph. Only computed when deadlines
+	// are enabled — the O(|V|²) scan needs a finalized graph, and disabling
+	// deadlines is what lets the sharded pipeline generate workloads over
+	// huge unfinalized clustered substrates.
 	worstPath := 0.0
-	for a := 0; a < g.N(); a++ {
-		for b := 0; b < g.N(); b++ {
-			if c := g.PathCost(a, b); !math.IsInf(c, 1) && c > worstPath {
-				worstPath = c
+	minCompute := math.Inf(1)
+	if cfg.DeadlineSlack > 0 {
+		for a := 0; a < g.N(); a++ {
+			for b := 0; b < g.N(); b++ {
+				if c := g.PathCost(a, b); !math.IsInf(c, 1) && c > worstPath {
+					worstPath = c
+				}
 			}
 		}
-	}
-	minCompute := math.Inf(1)
-	for _, n := range g.Nodes() {
-		if n.Compute < minCompute {
-			minCompute = n.Compute
+		for _, n := range g.Nodes() {
+			if n.Compute < minCompute {
+				minCompute = n.Compute
+			}
 		}
 	}
 

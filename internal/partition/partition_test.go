@@ -260,3 +260,152 @@ func TestXiMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// twoIslandInstance builds a substrate of two disconnected 3-node triangles
+// with demand on both islands — the degenerate input a sharded pipeline can
+// produce when a region's backhaul is cut.
+func twoIslandInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	g := topology.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddNode(float64(i), 0, 10, 8)
+	}
+	for _, tri := range [][3]int{{0, 1, 2}, {3, 4, 5}} {
+		for i := 0; i < 3; i++ {
+			if err := g.AddLink(tri[i], tri[(i+1)%3], 50); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g.Finalize()
+
+	cat := msvc.NewCatalog()
+	a, _ := cat.Add("a", 100, 1, 1)
+	cat.AddFlow([]msvc.ServiceID{a})
+	w := &msvc.Workload{Catalog: cat, Requests: []msvc.Request{
+		{ID: 0, Home: 0, Chain: []int{a}, DataIn: 1, DataOut: 1, Deadline: math.Inf(1)},
+		{ID: 1, Home: 1, Chain: []int{a}, DataIn: 1, DataOut: 1, Deadline: math.Inf(1)},
+		{ID: 2, Home: 4, Chain: []int{a}, DataIn: 1, DataOut: 1, Deadline: math.Inf(1)},
+	}}
+	return &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e6}
+}
+
+// Build on a disconnected substrate must still cover every demand node and
+// must never group nodes across components (their χ distance is infinite).
+func TestBuildDisconnectedSubstrate(t *testing.T) {
+	in := twoIslandInstance(t)
+	res := Build(in, DefaultConfig())
+	sp := res.ByService[0]
+	if sp == nil {
+		t.Fatal("service 0 missing")
+	}
+	count := map[int]int{}
+	for _, grp := range sp.Groups {
+		island := -1
+		for _, k := range grp.Members {
+			count[k]++
+			comp := 0
+			if k >= 3 {
+				comp = 1
+			}
+			if island == -1 {
+				island = comp
+			} else if island != comp {
+				t.Fatalf("group %v spans both components", grp.Members)
+			}
+		}
+	}
+	for _, k := range []int{0, 1, 4} {
+		if count[k] != 1 {
+			t.Fatalf("demand node %d appears %d times, want 1 (membership %v)", k, count[k], count)
+		}
+	}
+	if len(count) != 3 {
+		t.Fatalf("membership %v covers %d nodes, want 3", count, len(count))
+	}
+}
+
+// Build on a single-node substrate: one group, one member, no candidates.
+func TestBuildSingleNodeRegion(t *testing.T) {
+	g := topology.New(1)
+	g.AddNode(0, 0, 10, 8)
+	g.Finalize()
+	cat := msvc.NewCatalog()
+	a, _ := cat.Add("a", 100, 1, 1)
+	cat.AddFlow([]msvc.ServiceID{a})
+	w := &msvc.Workload{Catalog: cat, Requests: []msvc.Request{
+		{ID: 0, Home: 0, Chain: []int{a}, DataIn: 1, DataOut: 1, Deadline: math.Inf(1)},
+	}}
+	in := &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e6}
+	res := Build(in, DefaultConfig())
+	sp := res.ByService[0]
+	if sp == nil {
+		t.Fatal("service 0 missing")
+	}
+	if len(sp.Groups) != 1 || len(sp.Groups[0].Members) != 1 || sp.Groups[0].Members[0] != 0 {
+		t.Fatalf("groups = %+v, want one single-member group on node 0", sp.Groups)
+	}
+	if len(sp.Groups[0].Candidates) != 0 {
+		t.Fatalf("single node elected candidates %v", sp.Groups[0].Candidates)
+	}
+}
+
+// Property: on every shard sub-instance sliced from a clustered substrate,
+// each service's groups exactly partition the shard's demand nodes — the
+// per-shard precondition the sharded combine relies on.
+func TestBuildPartitionsShardNodesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, regions := topology.Clustered(topology.DefaultClusterConfig(4, 6), seed)
+		cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), seed)
+		wcfg := msvc.DefaultWorkloadConfig(40)
+		wcfg.DeadlineSlack = 0
+		wcfg.Hotspot = 0
+		w, err := msvc.GenerateWorkload(cat, g, wcfg, seed)
+		if err != nil {
+			return false
+		}
+		in := &model.Instance{Graph: g, Workload: w, Lambda: 0.5, Budget: 1e6}
+		for _, region := range regions {
+			var reqs []int
+			inRegion := map[int]bool{}
+			for _, v := range region {
+				inRegion[v] = true
+			}
+			for h, req := range w.Requests {
+				if inRegion[req.Home] {
+					reqs = append(reqs, h)
+				}
+			}
+			si, err := model.NewShardInstance(in, region, len(region), reqs, len(reqs))
+			if err != nil {
+				return false
+			}
+			res := Build(si.Sub, DefaultConfig())
+			for _, svc := range si.Sub.Workload.ServicesUsed() {
+				sp := res.ByService[svc]
+				if sp == nil {
+					return false
+				}
+				want := si.Sub.Workload.NodesRequesting(svc)
+				count := map[int]int{}
+				for _, grp := range sp.Groups {
+					for _, k := range grp.Members {
+						count[k]++
+					}
+				}
+				if len(count) != len(want) {
+					return false
+				}
+				for _, k := range want {
+					if count[k] != 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,10 +33,15 @@ type benchResult struct {
 
 // benchFile is the BENCH_<date>.json layout: a dated snapshot of the hot
 // paths the perf work targets, written by `soclbench -benchjson <dir>` so
-// before/after evidence can be committed next to the results CSVs.
+// before/after evidence can be committed next to the results CSVs. Workers
+// is the effective pool size the *Parallel benchmarks ran with (the -workers
+// flag resolved exactly as the solvers resolve it: 0 = GOMAXPROCS), and CPUs
+// the machine's logical core count — together they say whether a snapshot's
+// parallel numbers can show real speedup or were taken on a serial box.
 type benchFile struct {
 	Date       string                 `json:"date"`
 	GoMaxProcs int                    `json:"gomaxprocs"`
+	CPUs       int                    `json:"cpus"`
 	Workers    int                    `json:"workers"`
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 }
@@ -59,6 +64,12 @@ func benchJSONInstance(nodes, users int, seed int64) *model.Instance {
 // its naive reference, the combine serial descent, the Fig. 8 sweep) via
 // testing.Benchmark and writes dir/BENCH_<date>.json.
 func runBenchJSON(dir string, workers int) error {
+	// Resolve the worker knob exactly as the solvers do, so the recorded
+	// value is what the *Parallel benchmarks actually ran with instead of a
+	// literal 0.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	gcogIn := benchJSONInstance(10, 40, 1)
 	combineIn := benchJSONInstance(25, 250, 1)
 	combineIn.Budget = 1e9
@@ -154,6 +165,13 @@ func runBenchJSON(dir string, workers int) error {
 				mustSolveOpt(optIn, opt.Options{TimeLimit: 30 * time.Second, Workers: workers})
 			}
 		}},
+		// Same solve on the retired fixed-frontier scheduler: the difference
+		// against OptSolveParallel is the work-stealing win on skewed trees.
+		{"OptSolveParallelStatic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveOpt(optIn, opt.Options{TimeLimit: 30 * time.Second, Workers: workers, StaticFrontier: true})
+			}
+		}},
 		{"ChaosRepair", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				repair.Run(chaosIn, chaosMask, chaosP, repair.DefaultConfig())
@@ -181,11 +199,24 @@ func runBenchJSON(dir string, workers int) error {
 				mustSolveILP(ilpIn, ilp.Options{TimeLimit: time.Minute, Workers: workers})
 			}
 		}},
+		{"ILPSolveParallelStatic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveILP(ilpIn, ilp.Options{TimeLimit: time.Minute, Workers: workers, StaticFrontier: true})
+			}
+		}},
+		// Serial solve on the dense tableau engine: the gap against
+		// ILPSolveSerial is the sparse revised-simplex win per node LP.
+		{"ILPSolveSerialDense", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustSolveILP(ilpIn, ilp.Options{TimeLimit: time.Minute, Workers: 1, DenseLP: true})
+			}
+		}},
 	}
 
 	out := benchFile{
 		Date:       time.Now().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
 		Workers:    workers,
 		Benchmarks: map[string]benchResult{},
 	}
@@ -203,7 +234,15 @@ func runBenchJSON(dir string, workers int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, "BENCH_"+out.Date+".json")
+	// Multicore snapshots get an _mp<N> suffix so they sit next to (never
+	// overwrite) the single-core file from the same day: the serial numbers
+	// stay comparable across days while the suffixed file carries the honest
+	// parallel-speedup evidence.
+	name := "BENCH_" + out.Date
+	if out.GoMaxProcs > 1 {
+		name += fmt.Sprintf("_mp%d", out.GoMaxProcs)
+	}
+	path := filepath.Join(dir, name+".json")
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

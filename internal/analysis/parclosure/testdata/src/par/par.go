@@ -220,3 +220,71 @@ func suppressedJoin(n int) int {
 	<-done
 	return total
 }
+
+// badStealCursor is the work-stealing deque shape gone wrong: the steal
+// cursor into the shared deque is a captured variable every thief bumps, so
+// two thieves can pop the same task — or skip one — depending on the
+// schedule.
+func badStealCursor(deque []int) {
+	top := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for top < len(deque) {
+				sink(deque[top])
+				top++ // want "unsynchronized write to captured variable top"
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// badStealRegrow: a stolen task pushes follow-up work by appending to the
+// captured deque itself instead of routing it through the pool.
+func badStealRegrow(n int) {
+	deque := make([]int, 0, n)
+	pool(n, func(i int) {
+		deque = append(deque, i) // want "unsynchronized write to captured variable deque"
+	})
+	sink(len(deque))
+}
+
+// goodStealDeques is the internal/bb discipline: per-worker deques, each
+// guarded by its own mutex; the worker id arrives as a parameter and the
+// victim order (id+k)%W is a pure function of it, so every shared access
+// sits behind the victim's lock and every per-worker write lands at a
+// parameter-derived index.
+func goodStealDeques(tasks []int) int {
+	const workers = 4
+	deques := make([][]int, workers)
+	var mus [workers]sync.Mutex
+	for i, t := range tasks {
+		deques[i%workers] = append(deques[i%workers], t)
+	}
+	popped := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < workers; k++ {
+				victim := (id + k) % workers
+				mus[victim].Lock()
+				for len(deques[victim]) > 0 {
+					top := deques[victim][0]
+					deques[victim] = deques[victim][1:]
+					popped[id] += top
+				}
+				mus[victim].Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	for _, p := range popped {
+		sum += p
+	}
+	return sum
+}

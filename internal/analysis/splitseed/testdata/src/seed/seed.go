@@ -130,3 +130,60 @@ func suppressedShared() {
 	}()
 	<-done
 }
+
+// badStealCursorSeed is the work-stealing analog of the sweep-executor bug:
+// the stolen task seeds its generator from the steal cursor, i.e. from the
+// order in which thieves happened to win tasks — replays diverge the moment
+// a steal lands differently.
+func badStealCursorSeed(tasks []int) {
+	var mu sync.Mutex
+	top := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if top >= len(tasks) {
+					mu.Unlock()
+					return
+				}
+				t := tasks[top]
+				top++
+				mu.Unlock()
+				r := stats.NewRand(int64(t)) // want "without a SplitSeed-derived seed"
+				_ = r.Int63()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// goodStealTaskSeed is the discipline internal/bb's callers follow: the
+// stolen task's seed is SplitSeed-derived from the root seed plus the task's
+// own identity, so stealing reorders execution but never derivation.
+func goodStealTaskSeed(tasks []int) {
+	var mu sync.Mutex
+	top := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if top >= len(tasks) {
+					mu.Unlock()
+					return
+				}
+				t := tasks[top]
+				top++
+				mu.Unlock()
+				r := stats.NewRand(stats.SplitSeed(42, "steal") + int64(t))
+				_ = r.Int63()
+			}
+		}()
+	}
+	wg.Wait()
+}

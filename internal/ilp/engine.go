@@ -1,12 +1,16 @@
 // Parallel branch-and-bound engine shared by Solve (row-based MIP, cold
 // bounds-overlay node LPs) and SolveBounded (bounded MIP, warm-started node
-// LPs). Architecture (DESIGN.md §9):
+// LPs). Architecture (DESIGN.md §9, §14):
 //
-//   - a serial, deterministic breadth-first expansion grows the tree to a
-//     fixed-size frontier of unexplored subtree roots;
-//   - a fixed-size worker pool (Options.Workers, default GOMAXPROCS) claims
-//     frontier subtrees in order via an atomic cursor and explores each
-//     depth-first;
+//   - the root's children seed a work-stealing pool (internal/bb): each
+//     worker dives depth-first on a private stack and shares the "up" sibling
+//     of a branch onto its deque only while some other worker is starving
+//     (bb.Ctx.ShouldShare) — with one worker nothing is ever shared and the
+//     search is the exact serial dive;
+//   - Options.StaticFrontier restores the previous scheduler — a serial
+//     breadth-first expansion to a fixed frontier of 64 subtree roots drained
+//     through an atomic cursor — as a reference schedule for differential
+//     tests;
 //   - the incumbent is shared through an atomic best-objective (lock-free
 //     reads on the prune path) plus a mutex-guarded vector with a
 //     deterministic tie-break: at equal objective within model.ObjTol the
@@ -16,8 +20,8 @@
 //
 // Determinism: every node's LP result is a pure function of its tree
 // position (row engine: cold solve of base+bounds; bounded engine: warm from
-// its parent for dive children, from the shared root snapshot for queued
-// siblings — never from whatever a worker last touched), and pruning keeps
+// its parent for dive children, from the shared root snapshot for stolen or
+// stacked siblings — never from whatever a worker last touched), and pruning keeps
 // ties alive (a subtree is cut only when its bound exceeds the incumbent by
 // more than model.ObjTol). Every solution within ObjTol of the optimum is
 // therefore enumerated under every schedule, and the lexicographic tie-break
@@ -33,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bb"
 	"repro/internal/invariant"
 	"repro/internal/lp"
 	"repro/internal/model"
@@ -46,11 +51,11 @@ func resolveWorkers(w int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// frontierTarget is the expansion size: the serial breadth-first prefix
-// stops once this many unexplored subtree roots are queued. It is a fixed
-// constant — NOT a function of the worker count — so the expansion phase,
-// and with it each node's warm-start lineage, is identical for every
-// Options.Workers value.
+// frontierTarget is the Options.StaticFrontier expansion size: the serial
+// breadth-first prefix stops once this many unexplored subtree roots are
+// queued. It is a fixed constant — NOT a function of the worker count — so
+// the expansion phase, and with it each node's warm-start lineage, is
+// identical for every Options.Workers value.
 const frontierTarget = 64
 
 // mostFractional returns the most fractional integer variable of x, or -1
@@ -314,21 +319,37 @@ func solveRowEngine(m *MIP, opt Options) (Result, error) {
 			bbNode{bounds: []branchBound{{Var: bv, Upper: false, Val: fl + 1}}, lpObj: rootSol.Objective})
 	}
 
-	// Deterministic breadth-first expansion to the frontier.
-	for len(queue) > 0 && len(queue) < frontierTarget && !e.stopped() {
-		nd := queue[0]
-		queue = queue[1:]
-		down, up, branched, perr := e.processNode(nd, ws)
-		if perr != nil {
-			return Result{}, perr
+	if opt.StaticFrontier {
+		// Reference scheduler: deterministic breadth-first expansion to the
+		// frontier, then an atomic-cursor pool over the subtree roots.
+		for len(queue) > 0 && len(queue) < frontierTarget && !e.stopped() {
+			nd := queue[0]
+			queue = queue[1:]
+			down, up, branched, perr := e.processNode(nd, ws)
+			if perr != nil {
+				return Result{}, perr
+			}
+			if branched {
+				queue = append(queue, down, up)
+			}
 		}
-		if branched {
-			queue = append(queue, down, up)
+		err = runFrontier(&e.engineState, workers, queue, func(nd bbNode, _ int) error {
+			return e.dfsFrom(nd)
+		})
+		if err != nil {
+			return Result{}, err
 		}
+		return e.finish(start), nil
 	}
 
-	err = runFrontier(&e.engineState, workers, queue, func(nd bbNode, _ int) error {
-		return e.dfsFrom(nd)
+	// Work-stealing scheduler: the root children seed the pool directly; load
+	// balance comes from workers sharing "up" siblings while others starve.
+	wss := make([]*lp.Workspace, workers)
+	for i := range wss {
+		wss[i] = &lp.Workspace{}
+	}
+	_, err = bb.Run(workers, queue, e.stopped, func(c *bb.Ctx[bbNode], nd bbNode) error {
+		return e.dfsSteal(c, nd, wss[c.Worker()])
 	})
 	if err != nil {
 		return Result{}, err
@@ -372,7 +393,33 @@ func (e *rowEngine) processNode(nd bbNode, ws *lp.Workspace) (down, up bbNode, b
 	return
 }
 
-// dfsFrom explores one frontier subtree depth-first (down child first).
+// dfsSteal explores one subtree depth-first (down child first) on a private
+// stack, sharing the "up" sibling with the pool only while some worker is
+// starving. Node LPs are cold solves, so where a node runs never changes its
+// result.
+func (e *rowEngine) dfsSteal(c *bb.Ctx[bbNode], root bbNode, ws *lp.Workspace) error {
+	stack := []bbNode{root}
+	for len(stack) > 0 && !e.stopped() {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		down, up, branched, err := e.processNode(nd, ws)
+		if err != nil {
+			return err
+		}
+		if branched {
+			if c.ShouldShare() {
+				c.Push(up)
+			} else {
+				stack = append(stack, up)
+			}
+			stack = append(stack, down)
+		}
+	}
+	return nil
+}
+
+// dfsFrom explores one frontier subtree depth-first (down child first) —
+// the Options.StaticFrontier worker body.
 func (e *rowEngine) dfsFrom(root bbNode) error {
 	ws := &lp.Workspace{}
 	stack := []bbNode{root}
@@ -418,16 +465,26 @@ func appendBound(bounds []branchBound, b branchBound) []branchBound {
 type boundedNode struct {
 	lower, upper []float64
 	lpObj        float64
+	// snap is the parent's post-solve tableau (work-stealing path only): the
+	// up sibling restores it instead of the root snapshot, so its warm source
+	// is the same parent basis the down child dove from. nil means the root
+	// snapshot (seeds and the StaticFrontier path).
+	snap *lp.WarmSnapshot
 }
 
 type boundedEngine struct {
 	engineState
 	m *BoundedMIP
-	// snap is the root relaxation's tableau. Queued siblings restart from it
-	// (one Restore per stack node) so their LP lineage never depends on what
-	// a worker solved previously; dive children warm directly from their
-	// parent's tableau, which in depth-first order is always the last solve.
+	// snap is the root relaxation's tableau. Seeded nodes (and every stack
+	// node under StaticFrontier) restart from it; work-stealing nodes carry a
+	// parent snapshot instead (boundedNode.snap) so their LP lineage is the
+	// parent basis — still a pure function of tree position, never of which
+	// worker (or schedule) ran the node. Dive children warm directly from
+	// their parent's tableau, which in depth-first order is the last solve.
 	snap *lp.WarmSnapshot
+	// snapPool recycles per-branch parent snapshots: each is restored exactly
+	// once (by the stacked or stolen up sibling) and then returns here.
+	snapPool sync.Pool
 }
 
 // solveBoundedEngine is the parallel, warm-started counterpart of
@@ -443,7 +500,8 @@ func solveBoundedEngine(m *BoundedMIP, opt Options) (Result, error) {
 	if opt.TimeLimit > 0 {
 		e.deadline = start.Add(opt.TimeLimit)
 	}
-	ws, err := lp.NewWarmSolver(m.Prob)
+	lpCfg := lp.WarmConfig{Dense: opt.DenseLP}
+	ws, err := lp.NewWarmSolverCfg(m.Prob, lpCfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -477,26 +535,41 @@ func solveBoundedEngine(m *BoundedMIP, opt Options) (Result, error) {
 		queue = append(queue, down, up)
 	}
 
-	for len(queue) > 0 && len(queue) < frontierTarget && !e.stopped() {
-		nd := queue[0]
-		queue = queue[1:]
-		down, up, branched, perr := e.processNode(nd, ws, true)
-		if perr != nil {
-			return Result{}, perr
-		}
-		if branched {
-			queue = append(queue, down, up)
-		}
-	}
-
 	solvers := make([]*lp.WarmSolver, workers)
 	for i := range solvers {
-		if solvers[i], err = lp.NewWarmSolver(m.Prob); err != nil {
+		if solvers[i], err = lp.NewWarmSolverCfg(m.Prob, lpCfg); err != nil {
 			return Result{}, err
 		}
 	}
-	err = runFrontier(&e.engineState, workers, queue, func(nd boundedNode, worker int) error {
-		return e.dfsFrom(nd, solvers[worker])
+
+	if opt.StaticFrontier {
+		// Reference scheduler: breadth-first expansion, atomic-cursor pool.
+		for len(queue) > 0 && len(queue) < frontierTarget && !e.stopped() {
+			nd := queue[0]
+			queue = queue[1:]
+			down, up, branched, perr := e.processNode(nd, ws, true)
+			if perr != nil {
+				return Result{}, perr
+			}
+			if branched {
+				queue = append(queue, down, up)
+			}
+		}
+		err = runFrontier(&e.engineState, workers, queue, func(nd boundedNode, worker int) error {
+			return e.dfsFrom(nd, solvers[worker])
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		return e.finish(start), nil
+	}
+
+	// Work-stealing scheduler: the root children seed the pool; every seeded
+	// or stolen node restarts from the root snapshot, so the warm lineage of
+	// a node depends only on its tree position, never on which worker (or
+	// which schedule) ran it.
+	_, err = bb.Run(workers, queue, e.stopped, func(c *bb.Ctx[boundedNode], nd boundedNode) error {
+		return e.dfsSteal(c, nd, solvers[c.Worker()])
 	})
 	if err != nil {
 		return Result{}, err
@@ -521,7 +594,12 @@ func (e *boundedEngine) processNode(nd boundedNode, ws *lp.WarmSolver, fromSnaps
 		}
 	}
 	if fromSnapshot {
-		ws.Restore(e.snap)
+		if nd.snap != nil {
+			ws.Restore(nd.snap)
+			e.snapPool.Put(nd.snap)
+		} else {
+			ws.Restore(e.snap)
+		}
 	}
 	sol, serr := ws.SolveWithBounds(nd.lower, nd.upper)
 	if serr != nil {
@@ -538,6 +616,7 @@ func (e *boundedEngine) processNode(nd boundedNode, ws *lp.WarmSolver, fromSnaps
 	if bv == -1 {
 		if e.store.offer(sol.X, sol.Objective, e.m.Integer) {
 			e.verify(sol.X, sol.Objective)
+			invariant.CheckWarmFactorization(ws, "ilp bounded engine incumbent")
 			e.noteIncumbent()
 		}
 		return
@@ -547,7 +626,45 @@ func (e *boundedEngine) processNode(nd boundedNode, ws *lp.WarmSolver, fromSnaps
 	return
 }
 
-// dfsFrom explores one frontier subtree depth-first. The down child is
+// dfsSteal explores one subtree depth-first on a private stack. The down
+// child is processed immediately on the same solver (warm from the parent
+// tableau it just produced, fromSnap=false); the up child is either shared
+// with the pool (when a worker is starving) or stacked locally — both paths
+// restart it from the root snapshot, so sharing changes the schedule but
+// never a node's warm lineage.
+func (e *boundedEngine) dfsSteal(c *bb.Ctx[boundedNode], root boundedNode, ws *lp.WarmSolver) error {
+	var stack []boundedNode
+	cur, fromSnap, have := root, true, true
+	for have && !e.stopped() {
+		down, up, branched, err := e.processNode(cur, ws, fromSnap)
+		if err != nil {
+			return err
+		}
+		switch {
+		case branched:
+			// The solver still holds cur's optimal tableau — the parent basis
+			// for both children. Hand it to the up sibling before the down
+			// dive mutates the solver.
+			ps, _ := e.snapPool.Get().(*lp.WarmSnapshot)
+			up.snap = ws.SnapshotTo(ps)
+			if c.ShouldShare() {
+				c.Push(up)
+			} else {
+				stack = append(stack, up)
+			}
+			cur, fromSnap = down, false
+		case len(stack) > 0:
+			cur, fromSnap = stack[len(stack)-1], true
+			stack = stack[:len(stack)-1]
+		default:
+			have = false
+		}
+	}
+	return nil
+}
+
+// dfsFrom explores one frontier subtree depth-first — the
+// Options.StaticFrontier worker body. The down child is
 // processed immediately on the same solver (warm from the parent tableau it
 // just produced); the up child is stacked and later restarted from the root
 // snapshot.

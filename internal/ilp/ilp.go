@@ -53,6 +53,17 @@ type Options struct {
 	// the reference implementation the engine is differentially tested
 	// against (mirrors combine.Config.Naive / baselines.GCOGConfig.Naive).
 	Naive bool
+	// StaticFrontier reverts the engine to the fixed-frontier scheduler (a
+	// serial breadth-first expansion to 64 subtree roots drained through an
+	// atomic cursor) instead of the work-stealing pool. Kept as a reference
+	// schedule the stealing engine is differentially tested against; results
+	// are identical either way.
+	StaticFrontier bool
+	// DenseLP makes the bounded engine's warm solvers use the dense tableau
+	// engine (lp.WarmConfig{Dense: true}) instead of the sparse revised
+	// simplex — an escape hatch plus the pivot for dense-vs-sparse
+	// differential tests and benchmarks.
+	DenseLP bool
 }
 
 // Status of a MIP solve.

@@ -103,6 +103,78 @@ func TestEngineMatchesNaiveBounded(t *testing.T) {
 	}
 }
 
+// The work-stealing scheduler (default) and the fixed-frontier scheduler
+// (Options.StaticFrontier) must return identical results — same status, same
+// objective, bitwise the same vector — on both engine variants, for any
+// worker count: scheduling is not allowed to leak into the search result.
+func TestEngineStaticFrontierMatchesSteal(t *testing.T) {
+	sizes := [][2]int{{3, 3}, {4, 4}}
+	for _, sz := range sizes {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := soclInstance(sz[0], sz[1], seed)
+			row, _ := BuildSoCL(in)
+			bounded, _ := BuildSoCLBounded(in)
+			for _, workers := range []int{1, 4} {
+				steal, err := Solve(row, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				static, err := Solve(row, Options{Workers: workers, StaticFrontier: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if steal.Status != static.Status || (steal.Status == Optimal && !sameX(steal.X, static.X)) {
+					t.Fatalf("row size=%v seed=%d workers=%d: scheduler changed the result:\nsteal=%v %v\nstatic=%v %v",
+						sz, seed, workers, steal.Status, steal.X, static.Status, static.X)
+				}
+				bSteal, err := SolveBounded(bounded, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				bStatic, err := SolveBounded(bounded, Options{Workers: workers, StaticFrontier: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bSteal.Status != bStatic.Status || (bSteal.Status == Optimal && !sameX(bSteal.X, bStatic.X)) {
+					t.Fatalf("bounded size=%v seed=%d workers=%d: scheduler changed the result:\nsteal=%v %v\nstatic=%v %v",
+						sz, seed, workers, bSteal.Status, bSteal.X, bStatic.Status, bStatic.X)
+				}
+			}
+		}
+	}
+}
+
+// The bounded engine's node LPs must not depend on the simplex engine: the
+// sparse revised simplex (default) and the dense tableau (Options.DenseLP)
+// pivot identically (pinned bitwise at the lp level), so the MIP result is
+// bitwise identical end to end.
+func TestEngineDenseLPMatchesSparse(t *testing.T) {
+	sizes := [][2]int{{3, 3}, {4, 4}}
+	for _, sz := range sizes {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := soclInstance(sz[0], sz[1], seed)
+			m, _ := BuildSoCLBounded(in)
+			for _, workers := range []int{1, 4} {
+				sparse, err := SolveBounded(m, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dense, err := SolveBounded(m, Options{Workers: workers, DenseLP: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sparse.Status != dense.Status ||
+					math.Float64bits(sparse.Objective) != math.Float64bits(dense.Objective) ||
+					(sparse.Status == Optimal && !sameX(sparse.X, dense.X)) {
+					t.Fatalf("size=%v seed=%d workers=%d: LP engine changed the result:\nsparse=%v %v %v\ndense=%v %v %v",
+						sz, seed, workers, sparse.Status, sparse.Objective, sparse.X,
+						dense.Status, dense.Objective, dense.X)
+				}
+			}
+		}
+	}
+}
+
 // The knapsack fixture has a unique optimum; every path must find it.
 func TestEngineKnapsackAllWorkerCounts(t *testing.T) {
 	build := func() *MIP {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/lp"
 	"repro/internal/model"
 	"repro/internal/msvc"
 	"repro/internal/topology"
@@ -117,4 +118,26 @@ func TestArmedFeasibilityChecks(t *testing.T) {
 	// Unroutable request without a cloud fallback: also an Eq. 4 panic.
 	empty := model.NewPlacement(in.M(), in.V())
 	expectPanic(t, "Eq. 4", func() { CheckDeadlines(in, empty, "test") })
+}
+
+// TestArmedWarmFactorization proves the factorization probe fires on a solved
+// warm solver without panicking (healthy residual), and is a no-op before any
+// solve (no basis to check).
+func TestArmedWarmFactorization(t *testing.T) {
+	p := lp.NewBoundedProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -2)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 2)
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, lp.LE, 4)
+	ws, err := lp.NewWarmSolver(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	CheckWarmFactorization(ws, "test") // not ready: must be a no-op
+	sol, err := ws.SolveWithBounds(p.Lower, p.Upper)
+	if err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("solve: %v %v", sol.Status, err)
+	}
+	CheckWarmFactorization(ws, "test") // healthy basis: must not panic
 }

@@ -70,6 +70,25 @@ func CheckLPBoundedSolution(p *lp.BoundedProblem, x []float64, obj float64, wher
 	checkObjective(p.Objective, x, obj, where)
 }
 
+// CheckWarmFactorization panics when a warm solver's maintained basic values
+// drift from its factorization beyond lpCheckTol — the probe behind the
+// sparse engine's eta-file/refactorization bookkeeping (a stale or corrupt
+// factorization shows up as a constraint-row residual at the basis point
+// long before it misprices an incumbent). No-op when ws holds no Optimal
+// basis.
+func CheckWarmFactorization(ws *lp.WarmSolver, where string) {
+	if !Enabled {
+		return
+	}
+	res, ok := ws.FactorizationResidual()
+	if !ok {
+		return
+	}
+	if math.IsNaN(res) || res > lpCheckTol {
+		panic(fmt.Sprintf("invariant: %s: factorization residual %.3g exceeds %g", where, res, lpCheckTol))
+	}
+}
+
 func checkRow(lhs float64, rel lp.Rel, rhs float64, row int, where string) {
 	ok := true
 	switch rel {

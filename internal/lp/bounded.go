@@ -429,7 +429,13 @@ func (t *boundedTableau) moveAndPivot(enter int, dir, dist float64, leave int, l
 }
 
 // driveOutArtificials pivots zero-valued basic artificials out after
-// phase 1.
+// phase 1. Nonbasic-at-upper columns are eligible too (a degenerate pivot
+// entering from the upper bound): skipping them can leave an artificial
+// basic on a row whose only nonzero structural column sits at its upper
+// bound — e.g. an equality that forces a variable exactly to that bound.
+// Any artificial that still cannot be pivoted out (redundant row) is then
+// pinned by clamping every artificial's upper bound to zero, so the phase-2
+// ratio test can never move one off zero and silently break feasibility.
 func (t *boundedTableau) driveOutArtificials() {
 	isArt := make([]bool, t.nTotal)
 	for _, c := range t.artCols {
@@ -440,11 +446,18 @@ func (t *boundedTableau) driveOutArtificials() {
 			continue
 		}
 		for j := 0; j < t.nStruct+t.nSlack; j++ {
-			if math.Abs(t.coef[r][j]) > 1e-7 && !t.inBasis[j] && !t.atUpper[j] {
-				t.moveAndPivot(j, 1, 0, r, false)
+			if math.Abs(t.coef[r][j]) > 1e-7 && !t.inBasis[j] {
+				dir := 1.0
+				if t.atUpper[j] {
+					dir = -1
+				}
+				t.moveAndPivot(j, dir, 0, r, false)
 				break
 			}
 		}
+	}
+	for _, a := range t.artCols {
+		t.upper[a] = 0
 	}
 }
 

@@ -31,16 +31,32 @@ import (
 // share Snapshots, which are immutable once taken.
 type WarmSolver struct {
 	base  *BoundedProblem
-	t     warmTableau
-	ready bool // t holds an Optimal basis for the bounds in t.lower/t.upper
+	dense bool
+	t     warmTableau   // dense engine (WarmConfig.Dense)
+	sp    sparseTableau // sparse revised simplex (the default)
+	ready bool          // the active tableau holds an Optimal basis for its current bounds
 	// Stats counts how solves started; tests assert the warm path is
 	// actually exercised.
 	Stats WarmStats
 }
 
+// WarmConfig selects the LP engine behind a WarmSolver. The zero value is the
+// sparse revised simplex (internal/lp/sparse.go); Dense keeps the original
+// dense tableau as the differential reference — the same escape-hatch
+// discipline as Naive elsewhere in the repo.
+type WarmConfig struct {
+	Dense bool
+	// UpdateLimit caps the eta updates accumulated between refactorizations
+	// of the sparse engine (0 = the default max(48, nStruct/2) heuristic).
+	// Lowering it trades pivot speed for numerical freshness; tests set 1 to
+	// force a refactorization on every pivot. Ignored by the dense engine.
+	UpdateLimit int
+}
+
 // WarmStats counts solve starts by kind.
 type WarmStats struct {
 	Warm int // resumed phase 2 from the previous basis
+	Dual int // bound change broke primal feasibility; dual pivots repaired it
 	Cold int // rebuilt from scratch (phase 1), reusing row storage
 }
 
@@ -51,8 +67,14 @@ const warmFeasTol = 1e-7
 
 // NewWarmSolver validates the base problem (bounds are supplied per solve,
 // so only the rows and objective are checked here) and returns a solver with
-// no basis yet — the first SolveWithBounds is a cold start.
+// no basis yet — the first SolveWithBounds is a cold start. The engine is the
+// sparse revised simplex; NewWarmSolverCfg selects the dense reference.
 func NewWarmSolver(base *BoundedProblem) (*WarmSolver, error) {
+	return NewWarmSolverCfg(base, WarmConfig{})
+}
+
+// NewWarmSolverCfg is NewWarmSolver with an explicit engine choice.
+func NewWarmSolverCfg(base *BoundedProblem, cfg WarmConfig) (*WarmSolver, error) {
 	if base == nil {
 		return nil, fmt.Errorf("lp: nil problem")
 	}
@@ -72,7 +94,15 @@ func NewWarmSolver(base *BoundedProblem) (*WarmSolver, error) {
 			return nil, fmt.Errorf("lp: constraint %d has invalid RHS %v", i, c.RHS)
 		}
 	}
-	return &WarmSolver{base: base}, nil
+	if cfg.UpdateLimit < 0 {
+		return nil, fmt.Errorf("lp: negative UpdateLimit %d", cfg.UpdateLimit)
+	}
+	w := &WarmSolver{base: base, dense: cfg.Dense}
+	if !cfg.Dense {
+		w.sp.a = newCSC(base)
+		w.sp.updLimitCfg = cfg.UpdateLimit
+	}
+	return w, nil
 }
 
 // SolveWithBounds solves the base problem under the given variable bounds
@@ -90,18 +120,32 @@ func (w *WarmSolver) SolveWithBounds(lower, upper []float64) (Solution, error) {
 			return Solution{}, fmt.Errorf("lp: empty bound interval on variable %d [%v, %v]", j, lower[j], upper[j])
 		}
 	}
-	if w.ready && w.warmApply(lower, upper) {
-		w.Stats.Warm++
+	if !w.dense {
+		return w.solveSparseWithBounds(lower, upper)
+	}
+	if w.ready {
 		w.t.iters = 0
-		st := w.t.iterate()
-		if st == Optimal {
-			return w.extractSolution(), nil
+		resumed := w.warmApply(lower, upper)
+		if resumed {
+			w.Stats.Warm++
+		} else if w.t.dualResume() {
+			// The bound change pushed basic variables outside their new
+			// intervals, but the basis stayed dual feasible and dual pivots
+			// restored primal feasibility without rebuilding.
+			resumed = true
+			w.Stats.Dual++
 		}
-		// Unbounded can legitimately appear when bounds were relaxed;
-		// IterLimit means the resumed basis cycled. Either way the tableau
-		// is no longer a usable warm source.
-		w.ready = false
-		return Solution{Status: st, Iters: w.t.iters}, nil
+		if resumed {
+			st := w.t.iterate()
+			if st == Optimal {
+				return w.extractSolution(), nil
+			}
+			// Unbounded can legitimately appear when bounds were relaxed;
+			// IterLimit means the resumed basis cycled. Either way the tableau
+			// is no longer a usable warm source.
+			w.ready = false
+			return Solution{Status: st, Iters: w.t.iters}, nil
+		}
 	}
 	w.ready = false
 	w.Stats.Cold++
@@ -171,6 +215,93 @@ func (w *WarmSolver) warmApply(lower, upper []float64) bool {
 	return true
 }
 
+// dualResume runs bounded-variable dual simplex pivots after warmApply moved
+// the tableau to new bounds and found basic variables outside them — the
+// branch-and-bound hot path, where every child node tightens the bound of a
+// basic fractional variable and so always breaks primal feasibility. The
+// previous Optimal solve left the basis dual feasible, and bound moves do not
+// touch reduced costs, so each violated basic can be driven exactly to its
+// bound by an entering column chosen with the dual ratio test. It reports
+// whether primal feasibility was restored (the caller then finishes with
+// ordinary primal iterate, usually zero pivots); false means no usable pivot
+// or too many steps, and the caller cold-starts — so a bail costs nothing but
+// the attempt. Pivot selection is deterministic (most-violated row, smallest
+// ratio with first-wins ties) and both engines implement the identical rule,
+// keeping sparse ≡ dense bitwise.
+func (t *warmTableau) dualResume() bool {
+	m := t.m()
+	obj := t.coef[m]
+	maxSteps := 4 * (m + t.nTotal)
+	for steps := 0; steps < maxSteps; steps++ {
+		// Leaving row: the most-violated basic variable, lowest row on ties.
+		r, below := -1, false
+		worst := warmFeasTol
+		for i := 0; i < m; i++ {
+			bj := t.basis[i]
+			if d := t.lower[bj] - t.val[i]; d > worst {
+				worst, r, below = d, i, true
+			}
+			if up := t.upper[bj]; !math.IsInf(up, 1) {
+				if d := t.val[i] - up; d > worst {
+					worst, r, below = d, i, false
+				}
+			}
+		}
+		if r == -1 {
+			return true
+		}
+		// Entering column: among nonbasic columns whose movement pushes the
+		// violated basic back toward its bound, the smallest dual ratio
+		// |reduced cost| / |pivot| keeps the remaining columns dual feasible.
+		row := t.coef[r]
+		enter, dir, bestRatio := -1, 1.0, math.Inf(1)
+		for j := 0; j < t.nTotal; j++ {
+			if t.isArt[j] || t.inBasis[j] || !(t.upper[j] > t.lower[j]) {
+				continue
+			}
+			d := 1.0
+			if t.atUpper[j] {
+				d = -1
+			}
+			// val[r] changes by −a per unit of entering movement.
+			a := d * row[j]
+			if below {
+				if a >= -eps { // need val[r] to increase
+					continue
+				}
+			} else if a <= eps { // need val[r] to decrease
+				continue
+			}
+			rc := d * obj[j]
+			if rc < 0 {
+				// Slightly dual-infeasible columns (a bound that vanished
+				// re-parked the column) price as ratio zero; the primal
+				// cleanup pass restores optimality afterwards.
+				rc = 0
+			}
+			if ratio := rc / math.Abs(a); ratio < bestRatio {
+				bestRatio, enter, dir = ratio, j, d
+			}
+		}
+		if enter == -1 {
+			return false // no usable pivot; the cold start decides feasibility
+		}
+		a := dir * row[enter]
+		need := worst / math.Abs(a)
+		if lim := t.upper[enter] - t.lower[enter]; need >= lim {
+			// The entering column exhausts its own interval before the
+			// violation closes: a bound flip makes partial progress and the
+			// next pass re-prices.
+			t.boundFlip(enter, dir)
+			t.iters++
+			continue
+		}
+		t.moveAndPivot(enter, dir, need, r, !below)
+		t.iters++
+	}
+	return false
+}
+
 // coldSolve rebuilds the tableau from scratch under the given bounds (two
 // phases), reusing the row storage from previous solves.
 func (w *WarmSolver) coldSolve(lower, upper []float64) (Solution, error) {
@@ -215,6 +346,7 @@ func (w *WarmSolver) extractSolution() Solution {
 			x[bj] = t.val[r]
 		}
 	}
+	canonZeros(x)
 	obj := 0.0
 	for j, c := range w.base.Objective {
 		obj += c * x[j]
@@ -223,35 +355,73 @@ func (w *WarmSolver) extractSolution() Solution {
 	return Solution{Status: Optimal, X: x, Objective: obj, Iters: t.iters}
 }
 
+// canonZeros rewrites -0 entries to +0. The dense and sparse engines compute
+// basic values through different arithmetic (incremental pivot updates vs
+// FTRAN recomputation), which agrees bitwise except possibly on the sign of
+// exact zeros; canonicalizing both extractions keeps "sparse ≡ dense
+// bitwise" literal and stops -0 from leaking into reported solutions.
+func canonZeros(x []float64) {
+	for j, v := range x {
+		//socllint:ignore floateq the whole point is the exact zero: v == 0 is true for -0, and the rewrite normalizes its sign bit
+		if v == 0 {
+			x[j] = 0
+		}
+	}
+}
+
 // WarmSnapshot is an immutable copy of a WarmSolver's tableau state, taken
 // after an Optimal solve. Restoring it puts a solver (typically a different
 // worker's) into exactly that state, so warm starts from a shared ancestor —
 // the root relaxation in the parallel branch-and-bound — are reproducible
 // regardless of which worker performs them.
 type WarmSnapshot struct {
+	dense bool
 	t     warmTableau
+	sp    sparseTableau
 	ready bool
 }
 
 // Snapshot deep-copies the current tableau state. Returns nil when the
 // solver holds no Optimal basis (callers then simply cold-start instead).
+// Sparse snapshots are cheap: the constraint matrix and the eta columns are
+// shared immutably, so the copy is the basis/bounds state plus eta headers.
 func (w *WarmSolver) Snapshot() *WarmSnapshot {
+	return w.SnapshotTo(nil)
+}
+
+// SnapshotTo is Snapshot writing into recycled storage: when s is non-nil its
+// arrays are reused (the branch-and-bound engines pool per-branch parent
+// snapshots through this). A nil s allocates. Returns nil when the solver
+// holds no Optimal basis, leaving s untouched.
+func (w *WarmSolver) SnapshotTo(s *WarmSnapshot) *WarmSnapshot {
 	if !w.ready {
 		return nil
 	}
-	s := &WarmSnapshot{ready: true}
-	s.t.copyFrom(&w.t)
+	if s == nil {
+		s = &WarmSnapshot{}
+	}
+	s.dense, s.ready = w.dense, true
+	if w.dense {
+		s.t.copyFrom(&w.t)
+	} else {
+		s.sp.copyFrom(&w.sp)
+	}
 	return s
 }
 
 // Restore loads a snapshot into the solver, reusing its storage. The solver
-// must have been created for the same base problem.
+// must have been created for the same base problem and engine config; a
+// snapshot from the other engine is treated as "no snapshot" (cold start).
 func (w *WarmSolver) Restore(s *WarmSnapshot) {
-	if s == nil {
+	if s == nil || s.dense != w.dense {
 		w.ready = false
 		return
 	}
-	w.t.copyFrom(&s.t)
+	if w.dense {
+		w.t.copyFrom(&s.t)
+	} else {
+		w.sp.copyFrom(&s.sp)
+	}
 	w.ready = s.ready
 }
 
@@ -607,17 +777,28 @@ func (t *warmTableau) moveAndPivot(enter int, dir, dist float64, leave int, leav
 }
 
 // driveOutArtificials pivots zero-valued basic artificials out after phase 1.
+// Nonbasic-at-upper columns are eligible (degenerate pivot entering from the
+// upper bound), and artificial upper bounds are clamped to zero afterwards so
+// a still-basic artificial on a redundant row can never leave zero in
+// phase 2 — see boundedTableau.driveOutArtificials.
 func (t *warmTableau) driveOutArtificials() {
 	for r := 0; r < t.m(); r++ {
 		if !t.isArt[t.basis[r]] {
 			continue
 		}
 		for j := 0; j < t.nStruct+t.nSlack; j++ {
-			if math.Abs(t.coef[r][j]) > 1e-7 && !t.inBasis[j] && !t.atUpper[j] {
-				t.moveAndPivot(j, 1, 0, r, false)
+			if math.Abs(t.coef[r][j]) > 1e-7 && !t.inBasis[j] {
+				dir := 1.0
+				if t.atUpper[j] {
+					dir = -1
+				}
+				t.moveAndPivot(j, dir, 0, r, false)
 				break
 			}
 		}
+	}
+	for _, a := range t.artCols {
+		t.upper[a] = 0
 	}
 }
 

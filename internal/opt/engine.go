@@ -1,14 +1,17 @@
 // Parallel branch-and-bound engine for the specialized OPT solver. Same
-// architecture as internal/ilp's engine (DESIGN.md §9): a serial,
-// deterministic breadth-first expansion of the fixing tree up to a fixed
-// frontier size, then a worker pool that claims frontier subtrees via an
-// atomic cursor and explores each with the original recursive search over a
-// private copy of the mutable fixing state. The incumbent is shared through
-// an atomic best-objective plus a mutex-guarded store with a lexicographic
-// tie-break over the decision vector (along the static branching order,
-// x=1 before x=0 — the order the serial search visits leaves in), and the
-// bound prune keeps ties alive (cut only when lb exceeds the incumbent by
-// more than model.ObjTol), so every worker count returns the same placement.
+// architecture as internal/ilp's engine (DESIGN.md §9, §14): the root of the
+// fixing tree seeds a work-stealing pool (internal/bb); each worker runs the
+// original recursive search over a private copy of the mutable fixing state
+// and, while some other worker is starving, peels off the x=0 sibling of a
+// shallow branch point as a stealable decision prefix. Options.StaticFrontier
+// restores the previous scheduler (serial breadth-first expansion to a fixed
+// frontier, drained through an atomic cursor) as a reference schedule. The
+// incumbent is shared through an atomic best-objective plus a mutex-guarded
+// store with a lexicographic tie-break over the decision vector (along the
+// static branching order, x=1 before x=0 — the order the serial search visits
+// leaves in), and the bound prune keeps ties alive (cut only when lb exceeds
+// the incumbent by more than model.ObjTol), so every worker count — and every
+// schedule — returns the same placement.
 package opt
 
 import (
@@ -18,14 +21,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bb"
 	"repro/internal/invariant"
 	"repro/internal/model"
 )
 
-// frontierTarget is the expansion size — a fixed constant, not a function of
-// the worker count, so the serial prefix of the search is identical for
-// every Options.Workers value.
+// frontierTarget is the Options.StaticFrontier expansion size — a fixed
+// constant, not a function of the worker count, so the serial prefix of the
+// search is identical for every Options.Workers value.
 const frontierTarget = 64
+
+// stealDepth caps how deep in the fixing tree a branch point may still be
+// shared with the pool. Below it the x=0 sibling is always explored locally:
+// deep subtrees are small, so sharing them buys no balance but costs a
+// decision-prefix copy per push.
+const stealDepth = 24
 
 // resolveWorkers maps the Options.Workers knob to a pool size.
 func resolveWorkers(w int) int {
@@ -86,39 +96,61 @@ func solveEngine(in *model.Instance, opts Options) Result {
 		e.offer(decOfPlacement(base, base.incumbent), base.incumbentObj, base.incumbent.Clone())
 	}
 
-	// Deterministic breadth-first expansion to the frontier, run on the base
-	// solver (its mutable state is restored after each node).
-	queue := []pnode{{}}
-	for len(queue) > 0 && len(queue) < frontierTarget && !e.aborted.Load() {
-		nd := queue[0]
-		queue = queue[1:]
-		applyPrefix(base, nd.dec)
-		queue = append(queue, e.expandNode(base, nd)...)
-		unapplyPrefix(base, nd.dec)
-	}
-
-	if len(queue) > 0 && !e.aborted.Load() {
-		frontier := queue
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for wi := 0; wi < workers; wi++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				ws := cloneSearchState(base)
-				for !e.aborted.Load() {
-					i := next.Add(1) - 1
-					if i >= int64(len(frontier)) {
-						return
-					}
-					nd := frontier[i]
-					applyPrefix(ws, nd.dec)
-					e.dfs(ws, len(nd.dec))
-					unapplyPrefix(ws, nd.dec)
-				}
-			}()
+	if opts.StaticFrontier {
+		// Reference scheduler: deterministic breadth-first expansion to the
+		// frontier, run on the base solver (its mutable state is restored
+		// after each node), then an atomic-cursor pool over the roots.
+		queue := []pnode{{}}
+		for len(queue) > 0 && len(queue) < frontierTarget && !e.aborted.Load() {
+			nd := queue[0]
+			queue = queue[1:]
+			applyPrefix(base, nd.dec)
+			queue = append(queue, e.expandNode(base, nd)...)
+			unapplyPrefix(base, nd.dec)
 		}
-		wg.Wait()
+
+		if len(queue) > 0 && !e.aborted.Load() {
+			frontier := queue
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for wi := 0; wi < workers; wi++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ws := cloneSearchState(base)
+					for !e.aborted.Load() {
+						i := next.Add(1) - 1
+						if i >= int64(len(frontier)) {
+							return
+						}
+						nd := frontier[i]
+						applyPrefix(ws, nd.dec)
+						e.dfs(ws, len(nd.dec))
+						unapplyPrefix(ws, nd.dec)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	} else {
+		// Work-stealing scheduler: the whole tree is one seed; balance comes
+		// from workers peeling shallow x=0 siblings off their dive while
+		// others starve. Each worker keeps its own fixing-state clone, and a
+		// stolen node replays its decision prefix onto it — the node's search
+		// state depends only on its tree position, never on the schedule.
+		states := make([]*solver, workers)
+		for i := range states {
+			states[i] = cloneSearchState(base)
+		}
+		// bb.Run returns an error only when the process callback does; this
+		// one never fails (limits abort via e.aborted, which is the stop fn).
+		_, _ = bb.Run(workers, []pnode{{}}, e.aborted.Load, func(c *bb.Ctx[pnode], nd pnode) error {
+			ws := states[c.Worker()]
+			applyPrefix(ws, nd.dec)
+			e.stealDFS(c, ws, len(nd.dec))
+			unapplyPrefix(ws, nd.dec)
+			return nil
+		})
 	}
 
 	res := Result{Bound: rootBound}
@@ -262,6 +294,62 @@ func (e *optEngine) dfs(s *solver, pos int) {
 		e.dfs(s, pos+1)
 		s.unfix(v, 0)
 	}
+}
+
+// stealDFS is dfs with one extra move: at a shallow branch point where both
+// children are feasible and some worker is starving, the x=0 sibling is
+// shared with the pool as a decision prefix (to be replayed on the thief's
+// own state) instead of being explored locally after the x=1 dive. The
+// visit order of what runs locally is exactly dfs's (x=1 first).
+func (e *optEngine) stealDFS(c *bb.Ctx[pnode], s *solver, pos int) {
+	if !e.countNode() {
+		return
+	}
+	lb := s.lowerBound()
+	if math.IsInf(lb, 1) || e.pruned(s, pos, lb) {
+		return
+	}
+	if pos == len(s.order) {
+		e.offerFixed(s, lb)
+		return
+	}
+	v := s.order[pos]
+	if s.fixed[v.si][v.k] != -1 {
+		e.stealDFS(c, s, pos+1)
+		return
+	}
+	can1 := s.instCnt[v.si] < s.capSvc[v.si] &&
+		s.storUsed[v.k]+s.phi[v.si] <= s.storCap[v.k]+model.FeasTol &&
+		s.costUsed+s.kappa[v.si] <= s.budget+model.FeasTol
+	can0 := s.instCnt[v.si] > 0 || s.allowCnt[v.si] > 1
+	if can1 && can0 && pos < stealDepth && c.ShouldShare() {
+		c.Push(pnode{dec: appendDec(decPrefix(s, pos), 0)})
+		can0 = false
+	}
+	if can1 {
+		s.fix(v, 1)
+		e.stealDFS(c, s, pos+1)
+		s.unfix(v, 1)
+		if e.aborted.Load() {
+			return
+		}
+	}
+	if can0 {
+		s.fix(v, 0)
+		e.stealDFS(c, s, pos+1)
+		s.unfix(v, 0)
+	}
+}
+
+// decPrefix reads the decision vector for order[0:pos] back out of the
+// fixing state (every position below pos is fixed on the dive path).
+func decPrefix(s *solver, pos int) []int8 {
+	dec := make([]int8, pos)
+	for i := 0; i < pos; i++ {
+		v := s.order[i]
+		dec[i] = s.fixed[v.si][v.k]
+	}
+	return dec
 }
 
 // offerFixed offers the current fully-fixed state as an incumbent.

@@ -45,6 +45,12 @@ type Options struct {
 	// the reference implementation the parallel engine is differentially
 	// tested against (mirrors ilp.Options.Naive).
 	Naive bool
+	// StaticFrontier reverts the engine to the fixed-frontier scheduler (a
+	// serial breadth-first expansion to 64 subtree roots drained through an
+	// atomic cursor) instead of the work-stealing pool. Kept as a reference
+	// schedule the stealing engine is differentially tested against; results
+	// are identical either way (mirrors ilp.Options.StaticFrontier).
+	StaticFrontier bool
 }
 
 // Status of an exact solve.

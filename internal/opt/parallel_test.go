@@ -66,6 +66,43 @@ func TestEngineMatchesNaive(t *testing.T) {
 	}
 }
 
+// The work-stealing scheduler (default) and the fixed-frontier scheduler
+// (Options.StaticFrontier) must return identical results for any worker
+// count: scheduling is not allowed to leak into the search result.
+func TestEngineStaticFrontierMatchesSteal(t *testing.T) {
+	sizes := [][3]int{{3, 3, 3}, {4, 6, 3}}
+	for _, sz := range sizes {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := testInstance(sz[0], sz[1], sz[2], seed)
+			for _, workers := range []int{1, 4} {
+				steal, err := Solve(in, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				static, err := Solve(in, Options{Workers: workers, StaticFrontier: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if steal.Status != static.Status {
+					t.Fatalf("size=%v seed=%d workers=%d: status steal=%v static=%v",
+						sz, seed, workers, steal.Status, static.Status)
+				}
+				if steal.Status != Optimal {
+					continue
+				}
+				if math.Abs(steal.StarObjective-static.StarObjective) > 1e-9 {
+					t.Fatalf("size=%v seed=%d workers=%d: objective steal=%v static=%v",
+						sz, seed, workers, steal.StarObjective, static.StarObjective)
+				}
+				if !samePlacement(steal.Placement, static.Placement) {
+					t.Fatalf("size=%v seed=%d workers=%d: scheduler changed the incumbent placement",
+						sz, seed, workers)
+				}
+			}
+		}
+	}
+}
+
 // Warm starts must not perturb the engine's optimum (they may only help
 // pruning), for any worker count.
 func TestEngineWarmStartConsistent(t *testing.T) {

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig3 | fig4 | fig7 | fig8 | fig9 | fig10 | all | ext_budget | ext_lambda | ext_omega | ext_xi | ext_routing | ext_online | ext_decompose | ext_contention | ext_cloud | ext_cluster | ext_datasets | ext_combinebench | ext_faults | ext_serve | ext_scale | ext_coldstart | ext (all extensions)")
+		experiment = flag.String("experiment", "all", "fig2 | fig3 | fig4 | fig7 | fig8 | fig9 | fig10 | all | ext_budget | ext_lambda | ext_omega | ext_xi | ext_routing | ext_online | ext_decompose | ext_contention | ext_cloud | ext_cluster | ext_datasets | ext_combinebench | ext_faults | ext_serve | ext_scale | ext_coldstart | ext_overload | ext (all extensions)")
 		short      = flag.Bool("short", false, "reduced scales for a quick run")
 		seed       = flag.Int64("seed", 1, "root random seed")
 		out        = flag.String("out", "", "directory for CSV output (optional)")
@@ -118,6 +118,8 @@ func run(which string, opts experiments.Options, svgDir string) error {
 			add(experiments.ExtScale(opts))
 		case "ext_coldstart":
 			add(experiments.ExtColdstart(opts))
+		case "ext_overload":
+			add(experiments.ExtOverload(opts))
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -133,7 +135,7 @@ func run(which string, opts experiments.Options, svgDir string) error {
 			}
 		}
 	case "ext":
-		for _, id := range []string{"ext_budget", "ext_lambda", "ext_omega", "ext_xi", "ext_routing", "ext_online", "ext_decompose", "ext_contention", "ext_cloud", "ext_cluster", "ext_datasets", "ext_combinebench", "ext_faults", "ext_serve", "ext_scale", "ext_coldstart"} {
+		for _, id := range []string{"ext_budget", "ext_lambda", "ext_omega", "ext_xi", "ext_routing", "ext_online", "ext_decompose", "ext_contention", "ext_cloud", "ext_cluster", "ext_datasets", "ext_combinebench", "ext_faults", "ext_serve", "ext_scale", "ext_coldstart", "ext_overload"} {
 			if err := runOne(id); err != nil {
 				return err
 			}

@@ -22,6 +22,26 @@
 // afterwards reacts incrementally; adding -idle-epochs enables the
 // serverless lifecycle (scale-to-zero, warm-pool sizing, cold-start
 // pricing).
+//
+// The daemon also speaks a framed wire protocol (internal/transport), so
+// live clients can drive it instead of script playback:
+//
+//	soclserved -listen unix:/tmp/socl.sock -once            # socket frontend
+//	soclserved -listen tcp:127.0.0.1:7070 -unordered -deadline 1 \
+//	    -queue 64 -capacity 16 -breaker                     # hardened frontend
+//	soclserved -listen http:127.0.0.1:8080                  # loopback HTTP
+//	soclserved -send unix:/tmp/socl.sock -script events.txt # load client
+//	soclserved -send tcp:127.0.0.1:7070 -script events.txt \
+//	    -unreliable -chaos-drop 0.3                         # open-loop + chaos
+//	soclserved -selftest-transport                          # wire CI smoke
+//
+// A reliable (default) session retransmits until acknowledged and the
+// ordered server admits in sequence order, so even a chaos-impaired wire
+// yields a recorded stream identical to the sent script and a bitwise
+// replay. -unordered plus -deadline/-queue/-capacity/-breaker is the
+// overload regime: late events are shed, reaction costs debit admission
+// capacity, and the circuit breaker degrades service (stale placement →
+// cloud offload → shed) instead of collapsing.
 package main
 
 import (
@@ -67,6 +87,23 @@ func main() {
 		reqsPerWarm = flag.Int("reqs-per-warm", 0, "demand a single warm instance absorbs, for the sizer (0 = default)")
 		coldStart   = flag.Float64("cold-start", 0, "cold-start latency added per chain step on a cold instance")
 
+		listen     = flag.String("listen", "", "serve the framed wire protocol on unix:PATH, tcp:HOST:PORT, or http:HOST:PORT")
+		once       = flag.Bool("once", false, "with -listen: exit after the first session finishes, printing its report")
+		send       = flag.String("send", "", "play -script at a listening daemon (unix:PATH or tcp:HOST:PORT)")
+		unreliable = flag.Bool("unreliable", false, "with -send: open-loop mode — fire event frames once, no retransmission")
+		unordered  = flag.Bool("unordered", false, "with -listen: admit frames as they arrive instead of in sequence order (the shedding regime)")
+		deadline   = flag.Int("deadline", 0, "with -listen: default per-event latency budget in slots; blown budgets are shed (0 = unlimited)")
+		queue      = flag.Int("queue", 0, "with -listen: admission queue bound (0 = unbounded)")
+		capacity   = flag.Int("capacity", 0, "with -listen: admission work units per epoch, debited by reaction costs (0 = unlimited)")
+		breakerOn  = flag.Bool("breaker", false, "with -listen: circuit-break the reaction path and degrade (stale serve → cloud offload → shed)")
+		costBudget = flag.Int("cost-budget", 0, "with -breaker: reaction work units counted as an overrun failure (0 = errors only)")
+		budget     = flag.Int("budget-slots", 0, "with -send: per-event deadline budget stamped on the wire (0 = server default)")
+		chaosDrop  = flag.Float64("chaos-drop", 0, "with -send: per-frame drop probability on the client's sends")
+		chaosDup   = flag.Float64("chaos-dup", 0, "with -send: per-frame duplication probability")
+		chaosDelay = flag.Float64("chaos-delay", 0, "with -send: per-frame reorder-delay probability")
+
+		selftestTransport = flag.Bool("selftest-transport", false, "run the wire-protocol smoke: chaos-impaired reliable session must replay bitwise; hardened open-loop session must survive")
+
 		csvPath = flag.String("csv", "", "write per-epoch records as CSV to this file")
 		quiet   = flag.Bool("quiet", false, "suppress the per-epoch table, print only the summary")
 	)
@@ -77,6 +114,11 @@ func main() {
 		nodes: *nodes, radius: *radius, users: *users, seed: *seed,
 		slots: *slots, slotmin: *slotmin, failRate: *failRate,
 		policy: *policy, threshold: *threshold, replay: *replay, batch: *batch,
+		listen: *listen, once: *once, send: *send, unreliable: *unreliable,
+		unordered: *unordered, deadline: *deadline, queue: *queue,
+		capacity: *capacity, breakerOn: *breakerOn, costBudget: *costBudget,
+		budget: *budget, drop: *chaosDrop, dup: *chaosDup, delay: *chaosDelay,
+		selftestTransport: *selftestTransport,
 		lifecycle: serve.LifecycleConfig{
 			IdleEpochs:     *idleEpochs,
 			WarmPool:       *warmPool,
@@ -106,18 +148,38 @@ type options struct {
 	lifecycle           serve.LifecycleConfig
 	csvPath             string
 	quiet               bool
+
+	// Transport modes (transport.go).
+	listen, send      string
+	once              bool
+	unreliable        bool
+	unordered         bool
+	deadline          int
+	queue             int
+	capacity          int
+	breakerOn         bool
+	costBudget        int
+	budget            int
+	drop, dup, delay  float64
+	selftestTransport bool
 }
 
 func run(o options) error {
 	switch {
 	case o.selftest:
 		return selfTest(o)
+	case o.selftestTransport:
+		return selfTestTransport(o)
 	case o.record != "":
 		return recordScenario(o)
+	case o.listen != "":
+		return runListen(o)
+	case o.send != "":
+		return runSendload(o)
 	case o.script != "":
 		return serveScript(o)
 	default:
-		return fmt.Errorf("nothing to do: pass -record, -script, or -selftest (see -h)")
+		return fmt.Errorf("nothing to do: pass -record, -script, -listen, -send, or -selftest (see -h)")
 	}
 }
 

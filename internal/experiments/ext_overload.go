@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/msvc"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// ExtOverload sweeps the transport frontend (internal/transport) across
+// offered load, wire-loss rate, and the circuit breaker, using the
+// in-process session player — the same framed codec, chaos link, and
+// admission engine the socket server runs, minus the socket.
+//
+// Each cell replays one recorded event stream through an unordered
+// (open-loop) engine with a fixed per-epoch admission capacity and a
+// one-epoch deadline budget. Offered load scales with the user population
+// while capacity stays fixed, so heavier columns overrun the admission
+// budget; substrate faults make the repair/re-solve reaction path expensive,
+// and that reaction cost is debited from the next epoch's capacity — the
+// overload spiral the breaker exists to cut. With the breaker on, cost
+// overruns trip it open, epochs degrade to the stale-placement/cloud-offload
+// ladder (whose reaction cost is zero), capacity recovers, and the backlog
+// drains instead of blowing deadlines.
+//
+// Columns: events counts unique event frames received (drops reduce it,
+// this is open-loop traffic); shed_dl/shed_q/shed_ovl split the sheds by
+// cause (deadline blown, queue full, overload rejection while the breaker
+// is open); shed_rate = total sheds / events; p99_wait is the 99th
+// percentile admission wait in epochs; trips/degr_ep/offl_ep count breaker
+// trips, degraded-serve epochs, and epochs the cloud rung engaged;
+// unserved is the final epoch's unserved requests. err follows the
+// ext_faults partial-result contract: a failed cell reports its message and
+// the sweep continues.
+//
+// Two regimes show up at the top load. Under wire loss the breaker is a
+// clean win: the shed rate drops by half and fewer requests go unserved.
+// On a lossless wire the breaker sheds more in total — the open-breaker
+// overload rung rejects arrivals at the half-full queue — but finishes with
+// zero unserved: it trades raw admission volume for keeping the admitted
+// work servable, which is the ladder's contract.
+func ExtOverload(opts Options) *Table {
+	nodes, slots := 10, 12
+	loads := []int{8, 16, 24}
+	drops := []float64{0, 0.25}
+	if opts.Short {
+		nodes, slots = 8, 8
+		loads = []int{6, 18}
+		drops = []float64{0.25}
+	}
+
+	t := &Table{
+		ID:    "ext_overload",
+		Title: "Transport overload sweep: offered load x wire loss x circuit breaker",
+		Header: []string{"users", "drop", "breaker", "events", "admitted",
+			"shed_dl", "shed_q", "shed_ovl", "shed_rate", "p99_wait",
+			"trips", "degr_ep", "offl_ep", "unserved", "err"},
+	}
+
+	g := topology.RandomGeometric(nodes, 0.4, topology.DefaultGenConfig(), opts.Seed)
+	cat := msvc.EShopCatalog(msvc.DefaultDatasetConfig(), opts.Seed)
+	cc := model.DefaultCloudConfig()
+
+	for _, users := range loads {
+		cfg := sim.DefaultConfig(g, cat, users, opts.Seed)
+		cfg.DurationMinutes = float64(slots) * cfg.SlotMinutes
+		scfg := chaos.DefaultScheduleConfig()
+		scfg.NodeFailProb = 0.25
+		scfg.LinkFailProb = 0.15
+		scfg.MinNodesUp = nodes / 2
+		cfg.Faults = chaos.Generate(g, slots, scfg, opts.Seed)
+		cfg.Policy = sim.PolicyRepair
+		script, err := sim.EventStream(cfg)
+		if err != nil {
+			for _, drop := range drops {
+				for _, brk := range []bool{false, true} {
+					t.AddRow(itoa(users), f2(drop), onOff(brk), "0", "0", "0", "0",
+						"0", "0.000", "0", "0", "0", "0", "0", err.Error())
+				}
+			}
+			continue
+		}
+		frames, err := transport.BuildSession(script, 0)
+		if err != nil {
+			for _, drop := range drops {
+				for _, brk := range []bool{false, true} {
+					t.AddRow(itoa(users), f2(drop), onOff(brk), "0", "0", "0", "0",
+						"0", "0.000", "0", "0", "0", "0", "0", err.Error())
+				}
+			}
+			continue
+		}
+		for _, drop := range drops {
+			for _, brk := range []bool{false, true} {
+				tcfg := transport.Config{
+					Factory: func(serve.Meta) (serve.Config, error) {
+						sc := sim.ReplayConfig(cfg, sim.NewSoCLOnline(core.DefaultConfig()))
+						sc.Replan = false
+						sc.Policy = nil // AutoPolicy under the guard
+						return sc, nil
+					},
+					Ordered:       false,
+					DeadlineSlots: 2,
+					MaxQueue:      64,
+					Capacity:      48,
+					Breaker: transport.BreakerConfig{
+						Enabled: brk, TripAfter: 1, Cooldown: 2, CostBudget: 12,
+					},
+					Ladder: transport.LadderConfig{
+						CloudTransfer:  cc.TransferCost,
+						CloudCompute:   cc.Compute,
+						CloudColdStart: 0.25,
+					},
+				}
+				var lcfg *chaos.LinkConfig
+				if drop > 0 {
+					lcfg = &chaos.LinkConfig{
+						Seed:  stats.SplitSeed(opts.Seed, "ext_overload/chaos"),
+						Drop:  drop,
+						Dup:   0.05,
+						Delay: 0.15,
+					}
+				}
+				eng, err := transport.PlaySession(tcfg, frames, lcfg)
+				if err != nil {
+					t.AddRow(itoa(users), f2(drop), onOff(brk), "0", "0", "0", "0",
+						"0", "0.000", "0", "0", "0", "0", "0", err.Error())
+					continue
+				}
+				st := eng.Stats()
+				shedRate := 0.0
+				if st.Events > 0 {
+					shedRate = float64(st.Shed()) / float64(st.Events)
+				}
+				trips, degr, offl := 0, 0, 0
+				if b := eng.Breaker(); b != nil {
+					trips = b.Trips()
+				}
+				if gd := eng.Guard(); gd != nil {
+					degr, offl = gd.DegradedEpochs, gd.OffloadEpochs
+				}
+				unserved := 0
+				if res := eng.Result(); res != nil && res.Final != nil {
+					unserved = res.Final.Unserved()
+				}
+				errCol := ""
+				if eng.RunErr() != nil {
+					errCol = eng.RunErr().Error() // partial epochs still reported
+				}
+				t.AddRow(itoa(users), f2(drop), onOff(brk), itoa(st.Events),
+					itoa(st.Admitted), itoa(st.ShedDeadline), itoa(st.ShedQueue),
+					itoa(st.ShedOverload), f3(shedRate),
+					itoa(eng.WaitPercentile(0.99)), itoa(trips), itoa(degr),
+					itoa(offl), itoa(unserved), errCol)
+			}
+		}
+	}
+	return t
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestExtOverloadShort pins the sweep's headline claim: at the highest
+// offered load the breaker-on cell sheds less than breaker-off and finishes
+// with no more unserved requests.
+func TestExtOverloadShort(t *testing.T) {
+	tb := ExtOverload(shortOpts())
+	if len(tb.Rows) != 4 { // 2 loads x 1 drop x {off, on}
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	for i := range tb.Rows {
+		if e := cell(tb, i, "err"); e != "" {
+			t.Fatalf("row %d failed: %s", i, e)
+		}
+		events := cellF(t, tb, i, "events")
+		admitted := cellF(t, tb, i, "admitted")
+		shed := cellF(t, tb, i, "shed_dl") + cellF(t, tb, i, "shed_q") +
+			cellF(t, tb, i, "shed_ovl")
+		if admitted+shed != events {
+			t.Fatalf("row %d: admitted %v + shed %v != events %v", i, admitted, shed, events)
+		}
+	}
+	// The last two rows are the top load, breaker off then on.
+	off, on := len(tb.Rows)-2, len(tb.Rows)-1
+	if cell(tb, off, "breaker") != "off" || cell(tb, on, "breaker") != "on" {
+		t.Fatal("row order changed: expected breaker off/on at the top load")
+	}
+	offShed := cellF(t, tb, off, "shed_rate")
+	onShed := cellF(t, tb, on, "shed_rate")
+	if onShed >= offShed {
+		t.Fatalf("breaker did not cut the top-load shed rate: off %v, on %v", offShed, onShed)
+	}
+	if cellF(t, tb, on, "unserved") > cellF(t, tb, off, "unserved") {
+		t.Fatal("breaker increased top-load unserved requests")
+	}
+	if cellF(t, tb, on, "trips") == 0 {
+		t.Fatal("breaker never tripped at the top load")
+	}
+}

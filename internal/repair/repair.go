@@ -72,6 +72,37 @@ type Config struct {
 	// cap is checked between commits, so a restoration bundle committed just
 	// under the cap may finish past it.
 	MaxAdds int
+	// ColdStart, when non-nil, makes both re-provision phases warm-aware:
+	// every candidate add — restoration bundle or refinement single — is
+	// charged ColdStart.Delay on the probe score's objective for each added
+	// instance whose (svc, node) coordinate the model marks cold. Two
+	// otherwise-tied candidates therefore resolve toward the already-warm
+	// node instead of the lowest node ID, and a cold candidate must beat a
+	// warm one by more than the cold-start price to win. The surcharge is a
+	// deployment-decision prior computed outside the scorer, identically on
+	// the delta and Naive paths, so Config.Naive equivalence is preserved
+	// (pinned by test). Nil keeps every decision bitwise identical to the
+	// warm-blind engine. This is distinct from Instance.ColdStart, which
+	// prices cold steps inside the routed latency itself: the daemon passes
+	// its lifecycle model through both seams.
+	ColdStart *model.ColdStartModel
+}
+
+// coldPenalty is the warm-preference surcharge for one candidate add.
+func (cfg Config) coldPenalty(svc, node int) float64 {
+	if cfg.ColdStart == nil || !cfg.ColdStart.IsCold(svc, node) {
+		return 0
+	}
+	return cfg.ColdStart.Delay
+}
+
+// coldPenaltyBundle sums the surcharge over a restoration bundle.
+func (cfg Config) coldPenaltyBundle(adds []chaos.Inst) float64 {
+	pen := 0.0
+	for _, a := range adds {
+		pen += cfg.coldPenalty(a.Svc, a.Node)
+	}
+	return pen
 }
 
 // DefaultConfig scores under exact optimal routing with the delta engine.
@@ -410,6 +441,7 @@ func reprovision(min *model.Instance, m *chaos.Mask, s scorer, res *Result, cfg 
 				if over {
 					continue
 				}
+				sc.obj += cfg.coldPenaltyBundle(bundle)
 				if sc.betterThan(best) {
 					best, bestNode, bestBundle = sc, k, bundle
 				}
@@ -470,6 +502,7 @@ func reprovision(min *model.Instance, m *chaos.Mask, s scorer, res *Result, cfg 
 				if over {
 					continue
 				}
+				sc.obj += cfg.coldPenalty(i, k)
 				if sc.betterThan(best) {
 					best, bestSvc, bestNode = sc, i, k
 				}

@@ -331,13 +331,21 @@ func (d *Daemon) Tick() (*EpochRecord, error) {
 			// Initial solve: nothing to repair yet.
 			pol = ResolvePolicy{}
 		}
+		// The lifecycle's cold model rides the repair seam too: restore
+		// probes prefer already-warm coordinates (repair.Config.ColdStart).
+		// Replay mode and lifecycle-free daemons have d.cold == nil, so
+		// their repair decisions are bitwise unchanged.
+		rcfg := d.cfg.Repair
+		if rcfg.ColdStart == nil {
+			rcfg.ColdStart = d.cold
+		}
 		ctx := &EpochContext{
 			In:          evalIn,
 			Mask:        d.mask,
 			Planned:     planned,
 			Mode:        d.cfg.Mode,
 			Seed:        seed,
-			Repair:      d.cfg.Repair,
+			Repair:      rcfg,
 			Resolve:     d.cfg.Planner,
 			PlannerName: d.cfg.PlannerName,
 		}

@@ -142,52 +142,169 @@ var faultKindNames = map[string]chaos.FaultKind{
 	"storage-restore": chaos.StorageRestore,
 }
 
+// FormatMeta renders a meta line in the v1 text format (without the trailing
+// newline). Floats use hexadecimal significand form so the line round-trips
+// bit for bit through ParseMetaLine.
+func FormatMeta(m Meta) string {
+	return fmt.Sprintf("meta nodes=%d radius=%s toposeed=%d catseed=%d lambda=%s budget=%s slotmin=%s slots=%d routeseed=%d cloudtransfer=%s cloudcompute=%s",
+		m.Nodes, fmtF(m.Radius), m.TopoSeed, m.CatSeed, fmtF(m.Lambda), fmtF(m.Budget),
+		fmtF(m.SlotMinutes), m.NumSlots, m.RouteSeed, fmtF(m.CloudTransfer), fmtF(m.CloudCompute))
+}
+
+// ParseMetaLine parses a line produced by FormatMeta (with or without the
+// leading "meta" directive).
+func ParseMetaLine(line string) (Meta, error) {
+	f := strings.Fields(line)
+	if len(f) > 0 && f[0] == "meta" {
+		f = f[1:]
+	}
+	var m Meta
+	if err := parseMeta(f, &m); err != nil {
+		return Meta{}, err
+	}
+	return m, nil
+}
+
+// FormatEvent renders one event as its script line (without the trailing
+// newline) — the same per-event encoding WriteScript emits and the framed
+// wire codec (internal/transport) carries, so a wire-delivered event
+// round-trips bit for bit exactly like a scripted one.
+func FormatEvent(e *Event) (string, error) {
+	switch e.Kind {
+	case EvArrive:
+		chain := make([]string, len(e.Req.Chain))
+		for t, svc := range e.Req.Chain {
+			chain[t] = strconv.Itoa(svc)
+		}
+		edge := "-"
+		if len(e.Req.EdgeData) > 0 {
+			parts := make([]string, len(e.Req.EdgeData))
+			for t, v := range e.Req.EdgeData {
+				parts[t] = fmtF(v)
+			}
+			edge = strings.Join(parts, ",")
+		}
+		return fmt.Sprintf("arrive %d %d %d %s %s %s %s %s",
+			e.Slot, e.ID, e.Req.Home, fmtF(e.Req.DataIn), fmtF(e.Req.DataOut),
+			fmtF(e.Req.Deadline), strings.Join(chain, ","), edge), nil
+	case EvDepart:
+		return fmt.Sprintf("depart %d %d", e.Slot, e.ID), nil
+	case EvMove:
+		return fmt.Sprintf("move %d %d %d", e.Slot, e.ID, e.Node), nil
+	case EvFault:
+		f := e.Fault
+		switch f.Kind {
+		case chaos.LinkDegrade, chaos.LinkRestore:
+			return fmt.Sprintf("fault %d %s %d %d %s", e.Slot, f.Kind, f.A, f.B, fmtF(f.Factor)), nil
+		case chaos.StorageShrink, chaos.StorageRestore:
+			return fmt.Sprintf("fault %d %s %d %s", e.Slot, f.Kind, f.Node, fmtF(f.Factor)), nil
+		case chaos.NodeCrash, chaos.NodeRecover:
+			return fmt.Sprintf("fault %d %s %d", e.Slot, f.Kind, f.Node), nil
+		default:
+			return "", fmt.Errorf("serve: cannot serialize fault kind %v", f.Kind)
+		}
+	default:
+		return "", fmt.Errorf("serve: cannot serialize event kind %v", e.Kind)
+	}
+}
+
+// ParseEventLine parses one event line (arrive/depart/move/fault) produced by
+// FormatEvent. Malformed input returns an error, never panics.
+func ParseEventLine(line string) (Event, error) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return Event{}, fmt.Errorf("serve: empty event line")
+	}
+	return parseEventFields(f)
+}
+
+func parseEventFields(f []string) (Event, error) {
+	switch f[0] {
+	case "arrive":
+		if len(f) != 9 {
+			return Event{}, fmt.Errorf("arrive wants 8 fields, got %d", len(f)-1)
+		}
+		ev := Event{Kind: EvArrive}
+		var err error
+		if ev.Slot, err = strconv.Atoi(f[1]); err == nil {
+			ev.ID, err = strconv.Atoi(f[2])
+		}
+		if err == nil {
+			ev.Req.Home, err = strconv.Atoi(f[3])
+		}
+		if err == nil {
+			ev.Req.DataIn, err = parseF(f[4])
+		}
+		if err == nil {
+			ev.Req.DataOut, err = parseF(f[5])
+		}
+		if err == nil {
+			ev.Req.Deadline, err = parseF(f[6])
+		}
+		if err != nil {
+			return Event{}, err
+		}
+		for _, c := range strings.Split(f[7], ",") {
+			svc, err := strconv.Atoi(c)
+			if err != nil {
+				return Event{}, err
+			}
+			ev.Req.Chain = append(ev.Req.Chain, svc)
+		}
+		if f[8] != "-" {
+			for _, c := range strings.Split(f[8], ",") {
+				v, err := parseF(c)
+				if err != nil {
+					return Event{}, err
+				}
+				ev.Req.EdgeData = append(ev.Req.EdgeData, v)
+			}
+		}
+		if len(ev.Req.EdgeData) != len(ev.Req.Chain)-1 {
+			return Event{}, fmt.Errorf("edge data length %d != chain length %d - 1",
+				len(ev.Req.EdgeData), len(ev.Req.Chain))
+		}
+		ev.Req.ID = ev.ID
+		return ev, nil
+	case "depart", "move":
+		if (f[0] == "depart" && len(f) != 3) || (f[0] == "move" && len(f) != 4) {
+			return Event{}, fmt.Errorf("%s wants %d fields", f[0], map[string]int{"depart": 2, "move": 3}[f[0]])
+		}
+		ev := Event{Kind: EvDepart}
+		if f[0] == "move" {
+			ev.Kind = EvMove
+		}
+		var err error
+		if ev.Slot, err = strconv.Atoi(f[1]); err == nil {
+			ev.ID, err = strconv.Atoi(f[2])
+		}
+		if err == nil && ev.Kind == EvMove {
+			ev.Node, err = strconv.Atoi(f[3])
+		}
+		if err != nil {
+			return Event{}, err
+		}
+		return ev, nil
+	case "fault":
+		return parseFault(f[1:])
+	default:
+		return Event{}, fmt.Errorf("unknown directive %q", f[0])
+	}
+}
+
 // WriteScript serializes a script in the v1 text format. Every float is
 // written in hexadecimal significand form, so ParseScript(WriteScript(s))
 // reproduces s bit for bit (pinned by test).
 func WriteScript(w io.Writer, s *Script) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "# soclserved event script v1")
-	m := s.Meta
-	fmt.Fprintf(bw, "meta nodes=%d radius=%s toposeed=%d catseed=%d lambda=%s budget=%s slotmin=%s slots=%d routeseed=%d cloudtransfer=%s cloudcompute=%s\n",
-		m.Nodes, fmtF(m.Radius), m.TopoSeed, m.CatSeed, fmtF(m.Lambda), fmtF(m.Budget),
-		fmtF(m.SlotMinutes), m.NumSlots, m.RouteSeed, fmtF(m.CloudTransfer), fmtF(m.CloudCompute))
+	fmt.Fprintln(bw, FormatMeta(s.Meta))
 	for i := range s.Events {
-		e := &s.Events[i]
-		switch e.Kind {
-		case EvArrive:
-			chain := make([]string, len(e.Req.Chain))
-			for t, svc := range e.Req.Chain {
-				chain[t] = strconv.Itoa(svc)
-			}
-			edge := "-"
-			if len(e.Req.EdgeData) > 0 {
-				parts := make([]string, len(e.Req.EdgeData))
-				for t, v := range e.Req.EdgeData {
-					parts[t] = fmtF(v)
-				}
-				edge = strings.Join(parts, ",")
-			}
-			fmt.Fprintf(bw, "arrive %d %d %d %s %s %s %s %s\n",
-				e.Slot, e.ID, e.Req.Home, fmtF(e.Req.DataIn), fmtF(e.Req.DataOut),
-				fmtF(e.Req.Deadline), strings.Join(chain, ","), edge)
-		case EvDepart:
-			fmt.Fprintf(bw, "depart %d %d\n", e.Slot, e.ID)
-		case EvMove:
-			fmt.Fprintf(bw, "move %d %d %d\n", e.Slot, e.ID, e.Node)
-		case EvFault:
-			f := e.Fault
-			switch f.Kind {
-			case chaos.LinkDegrade, chaos.LinkRestore:
-				fmt.Fprintf(bw, "fault %d %s %d %d %s\n", e.Slot, f.Kind, f.A, f.B, fmtF(f.Factor))
-			case chaos.StorageShrink, chaos.StorageRestore:
-				fmt.Fprintf(bw, "fault %d %s %d %s\n", e.Slot, f.Kind, f.Node, fmtF(f.Factor))
-			default:
-				fmt.Fprintf(bw, "fault %d %s %d\n", e.Slot, f.Kind, f.Node)
-			}
-		default:
-			return fmt.Errorf("serve: cannot serialize event kind %v", e.Kind)
+		line, err := FormatEvent(&s.Events[i])
+		if err != nil {
+			return err
 		}
+		fmt.Fprintln(bw, line)
 	}
 	return bw.Flush()
 }
@@ -210,86 +327,18 @@ func ParseScript(r io.Reader) (*Script, error) {
 		fail := func(err error) (*Script, error) {
 			return nil, fmt.Errorf("serve: script line %d: %w", lineNo, err)
 		}
-		switch f[0] {
-		case "meta":
+		if f[0] == "meta" {
 			if err := parseMeta(f[1:], &s.Meta); err != nil {
 				return fail(err)
 			}
 			sawMeta = true
-		case "arrive":
-			if len(f) != 9 {
-				return fail(fmt.Errorf("arrive wants 8 fields, got %d", len(f)-1))
-			}
-			ev := Event{Kind: EvArrive}
-			var err error
-			if ev.Slot, err = strconv.Atoi(f[1]); err == nil {
-				ev.ID, err = strconv.Atoi(f[2])
-			}
-			if err == nil {
-				ev.Req.Home, err = strconv.Atoi(f[3])
-			}
-			if err == nil {
-				ev.Req.DataIn, err = parseF(f[4])
-			}
-			if err == nil {
-				ev.Req.DataOut, err = parseF(f[5])
-			}
-			if err == nil {
-				ev.Req.Deadline, err = parseF(f[6])
-			}
-			if err != nil {
-				return fail(err)
-			}
-			for _, c := range strings.Split(f[7], ",") {
-				svc, err := strconv.Atoi(c)
-				if err != nil {
-					return fail(err)
-				}
-				ev.Req.Chain = append(ev.Req.Chain, svc)
-			}
-			if f[8] != "-" {
-				for _, c := range strings.Split(f[8], ",") {
-					v, err := parseF(c)
-					if err != nil {
-						return fail(err)
-					}
-					ev.Req.EdgeData = append(ev.Req.EdgeData, v)
-				}
-			}
-			if len(ev.Req.EdgeData) != len(ev.Req.Chain)-1 {
-				return fail(fmt.Errorf("edge data length %d != chain length %d - 1",
-					len(ev.Req.EdgeData), len(ev.Req.Chain)))
-			}
-			ev.Req.ID = ev.ID
-			s.Events = append(s.Events, ev)
-		case "depart", "move":
-			if (f[0] == "depart" && len(f) != 3) || (f[0] == "move" && len(f) != 4) {
-				return fail(fmt.Errorf("%s wants %d fields", f[0], map[string]int{"depart": 2, "move": 3}[f[0]]))
-			}
-			ev := Event{Kind: EvDepart}
-			if f[0] == "move" {
-				ev.Kind = EvMove
-			}
-			var err error
-			if ev.Slot, err = strconv.Atoi(f[1]); err == nil {
-				ev.ID, err = strconv.Atoi(f[2])
-			}
-			if err == nil && ev.Kind == EvMove {
-				ev.Node, err = strconv.Atoi(f[3])
-			}
-			if err != nil {
-				return fail(err)
-			}
-			s.Events = append(s.Events, ev)
-		case "fault":
-			ev, err := parseFault(f[1:])
-			if err != nil {
-				return fail(err)
-			}
-			s.Events = append(s.Events, ev)
-		default:
-			return fail(fmt.Errorf("unknown directive %q", f[0]))
+			continue
 		}
+		ev, err := parseEventFields(f)
+		if err != nil {
+			return fail(err)
+		}
+		s.Events = append(s.Events, ev)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("serve: reading script: %w", err)

@@ -1,0 +1,151 @@
+package transport
+
+import "repro/internal/invariant"
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every reaction through to the inner policy.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits reactions to the degradation ladder.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe reaction through; its outcome
+	// decides between re-closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// BreakerConfig tunes the circuit breaker around the solver/repair reaction
+// path. The breaker counts two kinds of failure: a reaction that errors, and
+// a reaction whose deterministic work cost (reactionCost: committed adds,
+// evictions, and rolled-back probes, or CostBudget-scaled re-solves) exceeds
+// CostBudget — a reaction that "succeeds" by burning the epoch's entire
+// control-plane budget is an overload signal, not a success.
+type BreakerConfig struct {
+	// Enabled turns the breaker (and with it the GuardedPolicy ladder) on.
+	Enabled bool
+	// TripAfter is the consecutive-failure count that opens the breaker.
+	// 0 means DefaultTripAfter.
+	TripAfter int
+	// Cooldown is how many epochs the breaker stays open before admitting a
+	// half-open probe. 0 means DefaultCooldown.
+	Cooldown int
+	// CostBudget is the work-unit budget a single reaction may spend before
+	// it counts as an overrun failure. 0 disables cost-based tripping
+	// (only errors trip).
+	CostBudget int
+}
+
+// Breaker defaults.
+const (
+	DefaultTripAfter = 3
+	DefaultCooldown  = 4
+)
+
+func (c BreakerConfig) tripAfter() int {
+	if c.TripAfter <= 0 {
+		return DefaultTripAfter
+	}
+	return c.TripAfter
+}
+
+func (c BreakerConfig) cooldown() int {
+	if c.Cooldown <= 0 {
+		return DefaultCooldown
+	}
+	return c.Cooldown
+}
+
+// Breaker is the deterministic state machine. It is not goroutine-safe; the
+// engine serializes access (and the server serializes the engine).
+type Breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	consec   int // consecutive failures while closed
+	cooldown int // epochs left before open → half-open
+
+	// Telemetry.
+	trips     int
+	failures  int
+	overruns  int
+	shortCirc int // reactions short-circuited while open
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker { return &Breaker{cfg: cfg} }
+
+// State reports the automaton's current state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() int { return b.trips }
+
+// Allow reports whether the next reaction may run the real policy. An open
+// breaker refuses (and counts the short-circuit); half-open admits the probe.
+func (b *Breaker) Allow() bool {
+	if b.state == BreakerOpen {
+		b.shortCirc++
+		return false
+	}
+	return true
+}
+
+// Record feeds one permitted reaction's outcome back: its deterministic work
+// cost and whether it errored. Must follow an Allow() == true.
+func (b *Breaker) Record(cost int, failed bool) {
+	invariant.Assertf(b.state != BreakerOpen, "transport: breaker recorded a reaction while open")
+	overrun := b.cfg.CostBudget > 0 && cost > b.cfg.CostBudget
+	if overrun {
+		b.overruns++
+	}
+	if failed {
+		b.failures++
+	}
+	if !failed && !overrun {
+		// Success: a half-open probe re-closes; a closed breaker forgets its
+		// failure streak.
+		b.state = BreakerClosed
+		b.consec = 0
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// Failed probe: straight back to open for another cooldown.
+		b.open()
+	case BreakerClosed:
+		b.consec++
+		if b.consec >= b.cfg.tripAfter() {
+			b.open()
+		}
+	}
+}
+
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.cooldown = b.cfg.cooldown()
+	b.consec = 0
+	b.trips++
+}
+
+// OnEpoch advances the cooldown clock; call once per daemon epoch.
+func (b *Breaker) OnEpoch() {
+	if b.state != BreakerOpen {
+		return
+	}
+	b.cooldown--
+	if b.cooldown <= 0 {
+		b.state = BreakerHalfOpen
+	}
+}

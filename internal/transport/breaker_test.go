@@ -1,0 +1,78 @@
+package transport
+
+import "testing"
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enabled: true, TripAfter: 3, Cooldown: 2})
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused reaction %d", i)
+		}
+		b.Record(0, true)
+		if b.State() != BreakerClosed {
+			t.Fatalf("tripped after %d failures, want 3", i+1)
+		}
+	}
+	b.Allow()
+	b.Record(0, true) // third consecutive failure
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state=%v trips=%d after 3 failures", b.State(), b.Trips())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a reaction")
+	}
+	b.OnEpoch()
+	if b.State() != BreakerOpen {
+		t.Fatal("cooldown ended one epoch early")
+	}
+	b.OnEpoch()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state=%v after cooldown, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	b.Record(1, false) // successful probe
+	if b.State() != BreakerClosed {
+		t.Fatalf("state=%v after successful probe, want closed", b.State())
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enabled: true, TripAfter: 1, Cooldown: 1})
+	b.Allow()
+	b.Record(0, true)
+	if b.State() != BreakerOpen {
+		t.Fatal("TripAfter=1 did not trip on first failure")
+	}
+	b.OnEpoch()
+	b.Allow()
+	b.Record(0, true) // failed probe
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state=%v trips=%d after failed probe, want open/2", b.State(), b.Trips())
+	}
+}
+
+func TestBreakerCostOverrunTrips(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enabled: true, TripAfter: 2, CostBudget: 10})
+	b.Allow()
+	b.Record(11, false) // overrun counts as failure despite no error
+	b.Allow()
+	b.Record(50, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state=%v after two cost overruns, want open", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Enabled: true, TripAfter: 2})
+	b.Allow()
+	b.Record(0, true)
+	b.Allow()
+	b.Record(1, false) // success clears the streak
+	b.Allow()
+	b.Record(0, true)
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// DefaultResolveCost is the work-unit charge of a full re-solve relative to
+// single repair moves (adds/evicts/rolled-back probes cost 1 each). It is the
+// unit both the breaker's CostBudget and the engine's admission-capacity debt
+// are denominated in.
+const DefaultResolveCost = 50
+
+// LadderConfig prices the graceful-degradation ladder a tripped breaker
+// falls down: serve from the stale placement; if that leaves too many
+// requests unserved, offload them to a pay-per-use cloud priced with a
+// cold-start surcharge (the cloud function must spin up, model.ColdStartModel
+// semantics); requests that not even the cloud can serve stay shed.
+type LadderConfig struct {
+	// OffloadThreshold is the unserved fraction of the stale serve above
+	// which the cloud rung engages. 0 engages it on any unserved request.
+	OffloadThreshold float64
+	// CloudTransfer and CloudCompute price the offload rung
+	// (model.CloudConfig). CloudCompute <= 0 disables the rung.
+	CloudTransfer float64
+	CloudCompute  float64
+	// CloudColdStart is the per-offloaded-request latency surcharge in
+	// seconds: every degraded-path offload is assumed to cold-start its
+	// cloud function.
+	CloudColdStart float64
+}
+
+func (l LadderConfig) hasCloud() bool { return l.CloudCompute > 0 }
+
+// GuardedPolicy decorates a reaction policy with the circuit breaker and the
+// degradation ladder. While the breaker admits reactions it is transparent:
+// the inner policy serves and its cost/outcome trains the breaker. When the
+// breaker is open — or the inner policy errors — the epoch is served from
+// the ladder instead of failing the daemon, which is the whole point: under
+// overload the control plane stops paying reaction costs, the admission
+// capacity it was debiting recovers, and the frontend sheds less.
+type GuardedPolicy struct {
+	Inner   serve.Policy
+	Breaker *Breaker
+	Ladder  LadderConfig
+	// ResolveCost overrides DefaultResolveCost (0 = default).
+	ResolveCost int
+
+	// Telemetry.
+	DegradedEpochs int // epochs served by the ladder
+	OffloadEpochs  int // ladder epochs where the cloud rung engaged
+	InnerFailures  int // inner policy errors absorbed
+	LastCost       int // work cost of the most recent reaction (0 on ladder)
+}
+
+// Name implements serve.Policy.
+func (g *GuardedPolicy) Name() string { return "guarded(" + g.Inner.Name() + ")" }
+
+func (g *GuardedPolicy) resolveCost() int {
+	if g.ResolveCost <= 0 {
+		return DefaultResolveCost
+	}
+	return g.ResolveCost
+}
+
+// Serve implements serve.Policy.
+func (g *GuardedPolicy) Serve(ctx *serve.EpochContext) (serve.Outcome, error) {
+	if g.Breaker.Allow() {
+		out, err := g.Inner.Serve(ctx)
+		if err == nil {
+			g.LastCost = ReactionCost(&out, g.resolveCost())
+			g.Breaker.Record(g.LastCost, false)
+			return out, nil
+		}
+		// The inner reaction failed: train the breaker and fall to the
+		// ladder instead of failing the epoch.
+		g.InnerFailures++
+		g.Breaker.Record(0, true)
+	}
+	g.LastCost = 0
+	return g.degrade(ctx), nil
+}
+
+// degrade serves the epoch from the ladder: stale placement first, cloud
+// offload if the stale serve leaves too much unserved.
+func (g *GuardedPolicy) degrade(ctx *serve.EpochContext) serve.Outcome {
+	g.DegradedEpochs++
+	out, _ := serve.NonePolicy{}.Serve(ctx) // rung 1; NonePolicy cannot fail
+	n := len(ctx.In.Workload.Requests)
+	if n == 0 || !g.Ladder.hasCloud() {
+		return out
+	}
+	if float64(out.Eval.Unserved()) <= g.Ladder.OffloadThreshold*float64(n) {
+		return out
+	}
+	// Rung 2: re-evaluate the stale placement with the ladder's cloud
+	// fallback priced in, cold-start surcharge on every offloaded request.
+	cp := *ctx.In
+	cp.Cloud = &model.CloudConfig{
+		TransferCost: g.Ladder.CloudTransfer,
+		Compute:      g.Ladder.CloudCompute,
+	}
+	ev := ctx.Mask.Instance(&cp).EvaluateRouted(out.Placement, ctx.Mode, ctx.Seed)
+	if g.Ladder.CloudColdStart > 0 {
+		surchargeCloud(&cp, ev, g.Ladder.CloudColdStart)
+	}
+	if ev.Unserved() < out.Eval.Unserved() {
+		out.Eval = ev
+		g.OffloadEpochs++
+	}
+	return out
+}
+
+// surchargeCloud adds the cold-start delay to every cloud-served request
+// (nil route with finite latency) and re-derives the summary columns.
+func surchargeCloud(in *model.Instance, ev *model.Evaluation, delay float64) {
+	touched := 0
+	for h := range ev.Latencies {
+		if ev.Routes[h].Nodes != nil || math.IsInf(ev.Latencies[h], 1) {
+			continue
+		}
+		ev.Latencies[h] += delay
+		ev.LatencySum += delay
+		touched++
+	}
+	if touched > 0 && !math.IsInf(ev.Objective, 1) {
+		ev.Objective = in.Objective(ev.Cost, ev.LatencySum)
+	}
+}
+
+// ReactionCost is the deterministic work charge of one reaction outcome: a
+// full re-solve costs resolveCost units; an incremental repair costs one unit
+// per committed add, per eviction, and per scored-then-reverted candidate.
+func ReactionCost(out *serve.Outcome, resolveCost int) int {
+	if out.Resolved {
+		return resolveCost
+	}
+	return len(out.Added) + len(out.Evicted) + out.RolledBack
+}
+
+// recordCost is ReactionCost read off a finished epoch's record — the debt
+// the engine charges against the next epoch's admission capacity. Steady
+// delta-evaluator epochs ran no policy and cost nothing.
+func recordCost(rec *serve.EpochRecord, resolveCost int) int {
+	if rec.Incremental {
+		return 0
+	}
+	if rec.Resolved {
+		return resolveCost
+	}
+	return rec.Adds + rec.Evicts + rec.RolledBack
+}

@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server accepts framed connections on a unix socket or loopback TCP
+// listener and feeds them to one shared Engine. The engine is strictly
+// serialized under a mutex — connections are concurrent, admissions are not —
+// so a server session is as deterministic as the order frames win the lock.
+// Reliable clients make that order the sequence order; open-loop clients are
+// measuring overload, where arrival order is the experiment.
+type Server struct {
+	cfg Config
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	engine *Engine
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+	closeErr  error
+}
+
+// Listen binds a server. network is "unix" or "tcp" (keep tcp on loopback:
+// the protocol has no auth).
+func Listen(network, addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s %s: %w", network, addr, err)
+	}
+	return &Server{cfg: cfg, ln: ln, engine: NewEngine(cfg), closed: make(chan struct{})}, nil
+}
+
+// Addr returns the bound address (useful with "tcp 127.0.0.1:0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Engine returns the current session engine. Only read it after Close (or
+// otherwise quiescing the accept loop): connection goroutines mutate it.
+func (s *Server) Engine() *Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine
+}
+
+// SessionDone reports whether the current session has finished. Safe to call
+// concurrently with connection handling (unlike Engine).
+func (s *Server) SessionDone() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Finished()
+}
+
+// Serve accepts connections until Close. It returns nil on a close-triggered
+// shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64*1024)
+	bw := bufio.NewWriterSize(conn, 64*1024)
+	for {
+		fr, err := ReadFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Best-effort decode diagnostic; the conn dies either way.
+				bw.Write(Encode(errFrame(0, err.Error())))
+				bw.Flush()
+			}
+			return
+		}
+		s.mu.Lock()
+		if fr.Type == MsgHello && s.engine.Finished() {
+			// A hello after a finished session starts a fresh one.
+			s.engine = NewEngine(s.cfg)
+		}
+		resps := s.engine.HandleFrame(fr)
+		s.mu.Unlock()
+		for i := range resps {
+			if _, err := bw.Write(Encode(resps[i])); err != nil {
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts the listener and waits for every connection goroutine to
+// drain, after which Engine() is safe to inspect.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.closeErr = s.ln.Close()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
